@@ -1,0 +1,104 @@
+// Command sccsim regenerates the paper's tables and figures on the SCC
+// simulator.
+//
+// Usage:
+//
+//	sccsim -list
+//	sccsim -exp fig5 [-scale 0.25] [-stride 1] [-max 0] [-csv]
+//	sccsim -exp all  [-scale 0.25]
+//
+// -scale 1.0 reproduces the paper's matrix sizes (slow: the full testbed
+// holds ~95M nonzeros); the default quarter scale preserves every
+// qualitative relationship and finishes in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		expID  = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale  = flag.Float64("scale", 0.25, "testbed scale factor in (0, 1]; 1.0 = paper sizes")
+		stride = flag.Int("stride", 1, "keep every stride-th testbed matrix")
+		max    = flag.Int("max", 0, "use only the first N selected matrices (0 = all)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir = flag.String("outdir", "", "also write each experiment's tables to <outdir>/<id>.txt and .csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "sccsim: -exp or -list required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Stride: *stride, MaxMatrices: *max}
+	var toRun []experiments.Experiment
+	if *expID == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sccsim: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s  (scale %g, %v)\n\n", e.ID, e.Title, *scale, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *csv {
+				fmt.Println(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		if *outDir != "" {
+			if err := writeTables(*outDir, e.ID, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "sccsim: writing %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTables persists an experiment's tables as <outdir>/<id>.txt (aligned)
+// and <outdir>/<id>.csv (machine-readable, tables separated by blank lines).
+func writeTables(dir, id string, tables []*stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var txt, csv strings.Builder
+	for _, t := range tables {
+		txt.WriteString(t.String())
+		txt.WriteByte('\n')
+		csv.WriteString(t.CSV())
+		csv.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".txt"), []byte(txt.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".csv"), []byte(csv.String()), 0o644)
+}

@@ -1,0 +1,88 @@
+// Command scctune autotunes the SpMV configuration for one matrix on the
+// simulated SCC and prints the paper-style optimisation guidelines.
+//
+//	scctune -matrix av41092 -scale 0.25 -cores 24
+//	scctune -mm mymatrix.mtx -cores 48 -config conf1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/tune"
+)
+
+func main() {
+	var (
+		matrix  = flag.String("matrix", "av41092", "testbed matrix name")
+		mmPath  = flag.String("mm", "", "load a MatrixMarket file instead")
+		scale   = flag.Float64("scale", 0.25, "testbed scale factor in (0, 1]")
+		cores   = flag.Int("cores", 24, "units of execution")
+		cfgName = flag.String("config", "conf0", "clock configuration")
+		budget  = flag.Float64("budget", 0, "optional power budget in watts: also report the best clock configuration under it")
+	)
+	flag.Parse()
+
+	var a *sparse.CSR
+	if *mmPath != "" {
+		f, err := os.Open(*mmPath)
+		if err != nil {
+			fail(err)
+		}
+		var rerr error
+		a, rerr = sparse.ReadMatrixMarket(f)
+		f.Close()
+		if rerr != nil {
+			fail(rerr)
+		}
+	} else {
+		e, ok := sparse.TestbedEntryByName(*matrix)
+		if !ok {
+			fail(fmt.Errorf("unknown testbed matrix %q", *matrix))
+		}
+		a = e.GenerateScaled(*scale)
+	}
+	cc, ok := scc.NamedConfigs()[*cfgName]
+	if !ok {
+		fail(fmt.Errorf("unknown configuration %q", *cfgName))
+	}
+
+	r, err := tune.Tune(a, *cores, cc)
+	if err != nil {
+		fail(err)
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("autotune %s (n=%d nnz=%d) at %d cores, %s", a.Name, a.Rows, a.NNZ(), *cores, cc),
+		"format", "partition", "MFLOPS", "note",
+	)
+	for _, c := range r.Candidates {
+		t.AddRow(c.Format, string(c.Scheme), c.MFLOPS, c.Note)
+	}
+	fmt.Println(t.String())
+	fmt.Println("guidelines:")
+	for _, g := range r.Guidelines() {
+		fmt.Println("  -", g)
+	}
+
+	if *budget > 0 {
+		points, err := tune.SweepConfigs(a, *cores)
+		if err != nil {
+			fail(err)
+		}
+		best, err := tune.BestUnderBudget(points, *budget)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nunder %.1f W: run %s -> %.0f MFLOPS at %.1f W (%.1f MFLOPS/W)\n",
+			*budget, best.Config, best.MFLOPS, best.Watts, best.EfficiencyMFLOPSPerWatt())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scctune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command spmvrun simulates a single SpMV on the SCC and prints its timing
+// breakdown - the "one experiment at a time" companion to sccsim.
+//
+// Usage:
+//
+//	spmvrun -matrix F1 -scale 0.1 -cores 24 -mapping distance -config conf1
+//	spmvrun -mm path/to/matrix.mtx -cores 48 -variant noxmiss -nol2
+//	spmvrun -matrix sparsine -cores 8 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+func main() {
+	var (
+		matrix  = flag.String("matrix", "F1", "testbed matrix name (see matgen -list)")
+		mmPath  = flag.String("mm", "", "load a MatrixMarket file instead of a testbed matrix")
+		scale   = flag.Float64("scale", 0.25, "testbed scale factor in (0, 1]")
+		cores   = flag.Int("cores", 48, "number of units of execution (1..48)")
+		mapName = flag.String("mapping", "distance", "mapping policy: standard, distance or random")
+		cfgName = flag.String("config", "conf0", "clock configuration: conf0, conf1 or conf2")
+		variant = flag.String("variant", "standard", "kernel variant: standard or noxmiss")
+		noL2    = flag.Bool("nol2", false, "disable the per-core L2 caches")
+		cold    = flag.Bool("cold", false, "report the cold-cache pass instead of steady state")
+		seed    = flag.Int64("seed", 1, "seed for the random mapping")
+		verbose = flag.Bool("verbose", false, "print the per-core breakdown")
+		showMap = flag.Bool("showmap", false, "draw the chip floorplan with the rank placement")
+	)
+	flag.Parse()
+
+	a, err := loadMatrix(*mmPath, *matrix, *scale)
+	if err != nil {
+		fail(err)
+	}
+
+	cc, ok := scc.NamedConfigs()[*cfgName]
+	if !ok {
+		fail(fmt.Errorf("unknown configuration %q", *cfgName))
+	}
+	mapping, err := scc.Map(scc.MappingPolicy(mapPolicy(*mapName)), *cores, *seed)
+	if err != nil {
+		fail(err)
+	}
+	var v sim.Variant
+	switch *variant {
+	case "standard":
+		v = sim.KernelStandard
+	case "noxmiss":
+		v = sim.KernelNoXMiss
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	m := sim.NewMachine(cc)
+	m.WithL2 = !*noL2
+	r, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping, Variant: v, ColdCache: *cold})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("matrix      %s (n=%d, nnz=%d, ws=%.1f MB)\n", a.Name, a.Rows, a.NNZ(), a.WorkingSetMB())
+	fmt.Printf("machine     %s, %d cores (%s mapping), L2=%v, kernel=%s\n",
+		cc, r.UEs, *mapName, !*noL2, r.Variant)
+	fmt.Printf("time        %.3f ms\n", r.TimeSec*1e3)
+	fmt.Printf("throughput  %.1f MFLOPS (%.3f GFLOPS)\n", r.MFLOPS, r.GFLOPS)
+	fmt.Printf("power       %.1f W  ->  %.1f MFLOPS/W\n", r.PowerWatts, r.MFLOPSPerWatt)
+	if *showMap {
+		fmt.Println()
+		fmt.Print(scc.RenderMapping(mapping))
+	}
+	if *verbose {
+		fmt.Println()
+		if err := r.WriteReport(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func loadMatrix(mmPath, name string, scale float64) (*sparse.CSR, error) {
+	if mmPath != "" {
+		f, err := os.Open(mmPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return sparse.ReadMatrixMarket(f)
+	}
+	e, ok := sparse.TestbedEntryByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown testbed matrix %q (see matgen -list)", name)
+	}
+	return e.GenerateScaled(scale), nil
+}
+
+func mapPolicy(name string) string {
+	switch name {
+	case "distance":
+		return string(scc.MapDistanceReduction)
+	case "standard":
+		return string(scc.MapStandard)
+	case "random":
+		return string(scc.MapRandom)
+	}
+	return name // let scc.Map report the error
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spmvrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Distributed SpMV: run y = A·x without shared memory - each unit of
+// execution owns a block of x and halo-exchanges exactly the entries its
+// rows need, over the RCCE runtime with non-blocking sends. Shows how the
+// partitioner choice changes the communication volume.
+//
+//	go run ./examples/distributed [-ues 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/partition"
+	"repro/internal/scc"
+	"repro/internal/sparse"
+	"repro/internal/spmv"
+	"repro/internal/stats"
+)
+
+func main() {
+	ues := flag.Int("ues", 8, "units of execution")
+	flag.Parse()
+
+	// A banded matrix whose row order was scrambled: the worst case for
+	// naive contiguous partitioning.
+	band := sparse.Generate(sparse.Gen{
+		Name: "band", Class: sparse.PatternBanded, N: 6000, NNZTarget: 60000,
+		Bandwidth: 40, Seed: 3,
+	})
+	a := sparse.ApplySymmetric(band, sparse.RandomPerm(band.Rows, 11))
+	a.Name = "shuffled-band"
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.01)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+
+	fmt.Printf("%s: n=%d nnz=%d, %d UEs, distance-reduction mapping\n\n", a.Name, a.Rows, a.NNZ(), *ues)
+	t := stats.NewTable("halo-exchange distributed SpMV", "partition", "x entries exchanged", "max peer degree", "messages", "verified", "est. exchange (µs)")
+	for _, scheme := range []partition.Scheme{partition.SchemeByNNZ, partition.SchemeCyclic, partition.SchemeBFS} {
+		parts, err := partition.Split(scheme, a, *ues)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := spmv.NewCommPlan(a, parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := spmv.DistRCCE(a, x, *ues, scheme, scc.DistanceReductionMapping(*ues))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := "yes"
+		for i := range want {
+			if math.Abs(r.Y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				ok = "NO"
+				break
+			}
+		}
+		cost, err := spmv.ExchangeCost(plan, scc.DistanceReductionMapping(*ues), scc.Conf0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(string(scheme), r.Volume, plan.MaxDegree(), int(r.Stats.Messages), ok,
+			cost*1e6)
+	}
+	fmt.Println(t.String())
+	fmt.Println("the BFS partitioner clusters graph-adjacent rows, shrinking the halo:")
+	fmt.Println("less data on the mesh per SpMV, exactly what a multi-chip SCC would need.")
+}

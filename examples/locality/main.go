@@ -1,0 +1,67 @@
+// Locality analysis: quantify the paper's Section IV-C story on a pair of
+// matrices - the reuse-distance profile of the x-vector accesses predicts
+// which matrices the no-x-miss kernel accelerates, and by how much an RCM
+// reordering helps.
+//
+//	go run ./examples/locality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	// Three matrices with the same size and density but different column
+	// structure: a narrow band (high locality), the same band destroyed
+	// by a random symmetric permutation (structure recoverable by RCM),
+	// and a truly random pattern (nothing to recover). n is chosen so x
+	// (8n bytes = 940 KB) exceeds the 256 KB L2: locality, not capacity,
+	// decides the hit ratios.
+	const n = 120000
+	banded := sparse.Generate(sparse.Gen{
+		Name: "banded", Class: sparse.PatternBanded, N: n, NNZTarget: 15 * n,
+		Bandwidth: 96, Seed: 1,
+	})
+	shuffled := sparse.ApplySymmetric(banded, sparse.RandomPerm(n, 7))
+	shuffled.Name = "shuffled-band"
+	scattered := sparse.Generate(sparse.Gen{
+		Name: "scattered", Class: sparse.PatternRandom, N: n, NNZTarget: 15 * n, Seed: 1,
+	})
+	machine := sim.NewMachine(scc.Conf0)
+	mapping := scc.DistanceReductionMapping(24)
+	l2Lines := int64(256 << 10 / scc.CacheLineBytes)
+
+	t := stats.NewTable("x-access locality vs performance (24 cores, conf0)",
+		"matrix", "x hit@L2 (predicted)", "MFLOPS", "no-x speedup", "RCM speedup")
+	for _, a := range []*sparse.CSR{banded, shuffled, scattered} {
+		prof := trace.XLineTrace(a, scc.CacheLineBytes)
+		std, err := machine.RunSpMV(a, nil, sim.Options{Mapping: mapping})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nox, err := machine.RunSpMV(a, nil, sim.Options{Mapping: mapping, Variant: sim.KernelNoXMiss})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcm := sparse.ApplySymmetric(a, sparse.RCM(a))
+		rr, err := machine.RunSpMV(rcm, nil, sim.Options{Mapping: mapping})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(a.Name,
+			prof.HitRatioAtCapacity(l2Lines),
+			std.MFLOPS,
+			nox.MFLOPS/std.MFLOPS,
+			rr.MFLOPS/std.MFLOPS)
+	}
+	fmt.Println(t.String())
+	fmt.Println("reading: low predicted x hit ratio -> large no-x speedup (the paper's")
+	fmt.Println("Figure 8), and a bandwidth-reducing RCM permutation recovers much of it.")
+}

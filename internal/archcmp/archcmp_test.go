@@ -1,0 +1,134 @@
+package archcmp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSystemsList(t *testing.T) {
+	ss := Systems()
+	if len(ss) != 5 {
+		t.Fatalf("%d systems, want 5", len(ss))
+	}
+	for _, s := range ss {
+		if s.SpMVGFLOPS() <= 0 || s.TDPWatts <= 0 {
+			t.Errorf("%s: degenerate model %+v", s.Name, s)
+		}
+		if s.SpMVEfficiency <= 0 || s.SpMVEfficiency > 1 {
+			t.Errorf("%s: efficiency %v outside (0,1]", s.Name, s.SpMVEfficiency)
+		}
+		if s.SpMVGFLOPS() > s.RooflineGFLOPS() {
+			t.Errorf("%s: modelled SpMV exceeds the roofline", s.Name)
+		}
+	}
+}
+
+func TestRooflineBindsOnBandwidth(t *testing.T) {
+	// Every comparison system is bandwidth-bound for CSR SpMV: the
+	// roofline must equal bw * intensity, not the compute peak.
+	for _, s := range Systems() {
+		bwBound := s.MemBWGBs * SpMVFlopsPerByte
+		if math.Abs(s.RooflineGFLOPS()-bwBound) > 1e-12 {
+			t.Errorf("%s: roofline %v != bandwidth bound %v", s.Name, s.RooflineGFLOPS(), bwBound)
+		}
+	}
+	// A compute-bound synthetic system must clamp at the peak.
+	tiny := System{PeakGFLOPS: 1, MemBWGBs: 1000, SpMVEfficiency: 1}
+	if tiny.RooflineGFLOPS() != 1 {
+		t.Fatal("compute-bound roofline not clamped at peak")
+	}
+}
+
+func TestM2050Anchor(t *testing.T) {
+	// The paper quotes 7.9 GFLOPS average and ~35 MFLOPS/W for the M2050.
+	g := TeslaM2050.SpMVGFLOPS()
+	if math.Abs(g-7.9) > 0.2 {
+		t.Fatalf("M2050 SpMV = %.2f GFLOPS, want ~7.9", g)
+	}
+	if e := TeslaM2050.MFLOPSPerWatt(); math.Abs(e-35) > 2 {
+		t.Fatalf("M2050 efficiency = %.1f MFLOPS/W, want ~35", e)
+	}
+}
+
+func TestC1060SpeedupsVsCPUs(t *testing.T) {
+	// "the GPU shows speedups of 2.4 and 1.7 with respect to the
+	// performance on both processors" (Xeon and Opteron).
+	c := TeslaC1060.SpMVGFLOPS()
+	if r := c / XeonX5570.SpMVGFLOPS(); math.Abs(r-2.4) > 0.15 {
+		t.Fatalf("C1060/Xeon = %.2f, want ~2.4", r)
+	}
+	if r := c / Opteron6174.SpMVGFLOPS(); math.Abs(r-1.7) > 0.15 {
+		t.Fatalf("C1060/Opteron = %.2f, want ~1.7", r)
+	}
+}
+
+func TestCPUandC1060EfficienciesSimilar(t *testing.T) {
+	// "the efficiencies of the Xeon and Opteron processors are quite
+	// similar to the observed for Tesla C1060".
+	effs := []float64{
+		XeonX5570.MFLOPSPerWatt(),
+		Opteron6174.MFLOPSPerWatt(),
+		TeslaC1060.MFLOPSPerWatt(),
+	}
+	lo, hi := effs[0], effs[0]
+	for _, e := range effs {
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	if hi/lo > 1.35 {
+		t.Fatalf("Xeon/Opteron/C1060 efficiencies spread %.2fx: %v", hi/lo, effs)
+	}
+}
+
+func TestPerformanceOrdering(t *testing.T) {
+	// Figure 10(a): M2050 > C1060 > Opteron > Xeon > Itanium2.
+	order := []System{TeslaM2050, TeslaC1060, Opteron6174, XeonX5570, Itanium2Montvale}
+	for i := 1; i < len(order); i++ {
+		if order[i].SpMVGFLOPS() >= order[i-1].SpMVGFLOPS() {
+			t.Fatalf("%s (%.2f) not below %s (%.2f)",
+				order[i].Name, order[i].SpMVGFLOPS(),
+				order[i-1].Name, order[i-1].SpMVGFLOPS())
+		}
+	}
+}
+
+func TestItaniumTrailsTypicalSCC(t *testing.T) {
+	// The SCC default configuration averages ~1 GFLOPS in the paper and
+	// beats only the Itanium2; the Itanium2 model must sit below that.
+	if g := Itanium2Montvale.SpMVGFLOPS(); g >= 1.0 {
+		t.Fatalf("Itanium2 SpMV = %.2f GFLOPS; must trail the ~1 GFLOPS SCC", g)
+	}
+	// And every other system must beat 1 GFLOPS.
+	for _, s := range []System{XeonX5570, Opteron6174, TeslaC1060, TeslaM2050} {
+		if s.SpMVGFLOPS() <= 1.0 {
+			t.Errorf("%s should beat the SCC's ~1 GFLOPS", s.Name)
+		}
+	}
+}
+
+func TestSCCEntry(t *testing.T) {
+	e := SCCEntry{Name: "SCC conf0", GFLOPS: 1.0, Watts: 83.3}
+	if got := e.MFLOPSPerWatt(); math.Abs(got-12.0) > 0.1 {
+		t.Fatalf("SCC efficiency = %.2f, want ~12", got)
+	}
+	if (SCCEntry{}).MFLOPSPerWatt() != 0 {
+		t.Fatal("zero watts must not divide")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s := XeonX5570.String()
+	if !strings.Contains(s, "Xeon X5570") || !strings.Contains(s, "4 cores") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestGPUFlag(t *testing.T) {
+	if !TeslaC1060.GPU || !TeslaM2050.GPU {
+		t.Error("Tesla entries must be marked GPU")
+	}
+	if Itanium2Montvale.GPU || XeonX5570.GPU || Opteron6174.GPU {
+		t.Error("CPU entries must not be marked GPU")
+	}
+}

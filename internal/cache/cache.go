@@ -1,0 +1,282 @@
+// Package cache implements an address-accurate set-associative cache
+// simulator modelled on the SCC's P54C cores: 16 KB L1 and 256 KB L2, 4-way
+// set associative, 32-byte lines, tree pseudo-LRU replacement, write-back
+// with write-allocate. The SCC offers no hardware coherence, so caches are
+// strictly private and expose an explicit Flush, mirroring the software
+// coherence model RCCE programs use.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity; must be Ways*LineBytes*Sets with
+	// power-of-two sets.
+	SizeBytes int
+	// LineBytes is the line size (32 on the SCC's P54C cores).
+	LineBytes int
+	// Ways is the associativity (4 on the SCC).
+	Ways int
+	// WriteBack selects write-back (true, SCC L2) or write-through
+	// (false, modelling the P54C L1's default behaviour).
+	WriteBack bool
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*line = %d", c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	if c.Ways&(c.Ways-1) != 0 {
+		return fmt.Errorf("cache: associativity %d not a power of two (tree PLRU requires it)", c.Ways)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// SCCL1 returns the SCC per-core L1 data cache geometry: 16 KB, 4-way,
+// 32 B lines, write-through.
+func SCCL1() Config {
+	return Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 4, WriteBack: false}
+}
+
+// SCCL2 returns the SCC per-core L2 geometry: 256 KB, 4-way, 32 B lines,
+// write-back (the paper notes the L2 is write-back only).
+func SCCL2() Config {
+	return Config{SizeBytes: 256 << 10, LineBytes: 32, Ways: 4, WriteBack: true}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses uint64
+	// Evictions counts replaced valid lines; WriteBacks counts how many
+	// of those were dirty (write-back caches only).
+	Evictions, WriteBacks uint64
+	// WriteThroughs counts writes forwarded below by a write-through
+	// cache (every write when WriteBack is false).
+	WriteThroughs uint64
+}
+
+// MissRatio returns Misses / (Hits + Misses), or 0 with no accesses.
+func (s Stats) MissRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// Cache is a single-level set-associative cache with tree pseudo-LRU.
+// It is not safe for concurrent use; simulated cores own private instances.
+type Cache struct {
+	cfg       Config
+	sets      int
+	setShift  uint // log2(LineBytes)
+	setMask   uint64
+	tags      []uint64 // sets*ways; tag 0 is valid only when valid bit set
+	valid     []bool
+	dirty     []bool
+	plru      []uint32 // one tree per set, bit-packed (ways-1 bits used)
+	ways      int
+	treeDepth int
+	stats     Stats
+}
+
+// New builds a cache from cfg; it panics on an invalid configuration
+// (construction happens at simulator setup where a panic is a programming
+// error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+		dirty:     make([]bool, sets*cfg.Ways),
+		plru:      make([]uint32, sets),
+		ways:      cfg.Ways,
+		treeDepth: bits.TrailingZeros(uint(cfg.Ways)),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Result reports what a single access did.
+type Result struct {
+	// Hit is true when the line was present.
+	Hit bool
+	// WroteBack is true when the access evicted a dirty line (the line
+	// must be written to the next level / memory).
+	WroteBack bool
+	// VictimAddr is the base address of the evicted dirty line, valid
+	// only when WroteBack is true.
+	VictimAddr uint64
+	// WroteThrough is true when a write-through cache forwarded the
+	// write below.
+	WroteThrough bool
+}
+
+// Access simulates one load (write=false) or store (write=true) of the byte
+// at addr. A miss allocates the line (write-allocate policy for both reads
+// and writes).
+func (c *Cache) Access(addr uint64, write bool) Result {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	base := set * c.ways
+
+	// Probe.
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.stats.Hits++
+			c.touch(set, w)
+			var r Result
+			r.Hit = true
+			if write {
+				if c.cfg.WriteBack {
+					c.dirty[base+w] = true
+				} else {
+					c.stats.WriteThroughs++
+					r.WroteThrough = true
+				}
+			}
+			return r
+		}
+	}
+
+	// Miss: find victim (invalid way first, else PLRU).
+	c.stats.Misses++
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	var r Result
+	if victim < 0 {
+		victim = c.plruVictim(set)
+		c.stats.Evictions++
+		if c.dirty[base+victim] {
+			c.stats.WriteBacks++
+			r.WroteBack = true
+			r.VictimAddr = (c.tags[base+victim]<<uint(bits.TrailingZeros(uint(c.sets))) | uint64(set)) << c.setShift
+		}
+	}
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.dirty[base+victim] = write && c.cfg.WriteBack
+	if write && !c.cfg.WriteBack {
+		c.stats.WriteThroughs++
+		r.WroteThrough = true
+	}
+	c.touch(set, victim)
+	return r
+}
+
+// Contains reports whether the line holding addr is present (no side
+// effects; does not update PLRU or stats).
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush writes back every dirty line and invalidates the whole cache,
+// returning the number of dirty lines written back. This is the software
+// coherence operation SCC programs issue around communication phases.
+func (c *Cache) Flush() (writeBacks int) {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			writeBacks++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	for i := range c.plru {
+		c.plru[i] = 0
+	}
+	return writeBacks
+}
+
+// LinesValid returns the number of currently valid lines (test/debug aid).
+func (c *Cache) LinesValid() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// touch updates the PLRU tree so that way w becomes most recently used:
+// every tree node on the path to w is pointed away from w.
+func (c *Cache) touch(set, w int) {
+	if c.ways == 1 {
+		return
+	}
+	tree := c.plru[set]
+	node := 0 // root at index 0; children of node i are 2i+1, 2i+2
+	for level := c.treeDepth - 1; level >= 0; level-- {
+		bit := (w >> uint(level)) & 1
+		// Point the node to the opposite half of where w lives.
+		if bit == 0 {
+			tree |= 1 << uint(node) // 1 = "victim on the right"... see plruVictim
+		} else {
+			tree &^= 1 << uint(node)
+		}
+		node = 2*node + 1 + bit
+	}
+	c.plru[set] = tree
+}
+
+// plruVictim walks the PLRU tree toward the pseudo-least-recently-used way.
+func (c *Cache) plruVictim(set int) int {
+	if c.ways == 1 {
+		return 0
+	}
+	tree := c.plru[set]
+	node := 0
+	w := 0
+	for level := 0; level < c.treeDepth; level++ {
+		bit := int((tree >> uint(node)) & 1)
+		w = w<<1 | bit
+		node = 2*node + 1 + bit
+	}
+	return w
+}

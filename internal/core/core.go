@@ -1,0 +1,158 @@
+// Package core is the library facade: the one import a downstream user
+// needs to run the paper's workload. It wires the substrates together -
+// testbed generation (sparse), machine configuration (scc/sim), kernels and
+// experiment execution - behind a small, stable surface:
+//
+//	study, err := core.NewStudy(core.StudyConfig{Cores: 24})
+//	res, err := study.Run(core.MatrixSpec{Testbed: "sparsine", Scale: 0.25})
+//	fmt.Println(res.MFLOPS)
+//
+// Everything the facade returns is produced by the same engine that
+// regenerates the paper's figures (internal/sim, internal/experiments).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// StudyConfig selects the machine and run parameters for a Study.
+type StudyConfig struct {
+	// Config names the clock configuration: "conf0" (default), "conf1"
+	// or "conf2".
+	Config string
+	// Cores is the number of units of execution (default 48).
+	Cores int
+	// Mapping names the placement policy: "distance" (default),
+	// "standard" or "random".
+	Mapping string
+	// DisableL2 boots the machine without the per-core L2 caches.
+	DisableL2 bool
+	// NoXMiss runs the Section IV-C diagnostic kernel variant.
+	NoXMiss bool
+	// Seed feeds the random mapping.
+	Seed int64
+}
+
+// Study is a configured SCC ready to run SpMV workloads.
+type Study struct {
+	machine *sim.Machine
+	mapping scc.Mapping
+	variant sim.Variant
+	clock   scc.ClockConfig
+}
+
+// NewStudy validates the configuration and builds a Study.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.Config == "" {
+		cfg.Config = "conf0"
+	}
+	clock, ok := scc.NamedConfigs()[cfg.Config]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown clock configuration %q", cfg.Config)
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = scc.NumCores
+	}
+	if cfg.Mapping == "" {
+		cfg.Mapping = string(scc.MapDistanceReduction)
+	}
+	mapping, err := scc.Map(scc.MappingPolicy(cfg.Mapping), cfg.Cores, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m := sim.NewMachine(clock)
+	m.WithL2 = !cfg.DisableL2
+	variant := sim.KernelStandard
+	if cfg.NoXMiss {
+		variant = sim.KernelNoXMiss
+	}
+	return &Study{machine: m, mapping: mapping, variant: variant, clock: clock}, nil
+}
+
+// MatrixSpec names a matrix to run: either a Table I testbed entry (with a
+// scale factor) or an explicit CSR matrix.
+type MatrixSpec struct {
+	// Testbed is the UFL matrix name from Table I.
+	Testbed string
+	// Scale shrinks the testbed entry (default 1.0 = paper size).
+	Scale float64
+	// Matrix supplies an explicit matrix instead of a testbed name.
+	Matrix *sparse.CSR
+}
+
+func (s MatrixSpec) materialize() (*sparse.CSR, error) {
+	if s.Matrix != nil {
+		return s.Matrix, nil
+	}
+	if s.Testbed == "" {
+		return nil, fmt.Errorf("core: MatrixSpec needs a Testbed name or a Matrix")
+	}
+	e, ok := sparse.TestbedEntryByName(s.Testbed)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown testbed matrix %q", s.Testbed)
+	}
+	scale := s.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	return e.GenerateScaled(scale), nil
+}
+
+// Run simulates one SpMV (x = all ones) and returns the full result.
+func (s *Study) Run(spec MatrixSpec) (*sim.Result, error) {
+	return s.RunVec(spec, nil)
+}
+
+// RunVec simulates y = A·x for a caller-supplied x (nil = all ones).
+func (s *Study) RunVec(spec MatrixSpec, x []float64) (*sim.Result, error) {
+	a, err := spec.materialize()
+	if err != nil {
+		return nil, err
+	}
+	return s.machine.RunSpMV(a, x, sim.Options{
+		Mapping: s.mapping,
+		Variant: s.variant,
+	})
+}
+
+// Power returns the modelled full-system wattage of the Study's machine.
+func (s *Study) Power() float64 {
+	return scc.FullSystemPower(s.machine.Domains)
+}
+
+// Clock returns the Study's clock configuration.
+func (s *Study) Clock() scc.ClockConfig { return s.clock }
+
+// Mapping returns a copy of the Study's rank-to-core mapping.
+func (s *Study) Mapping() scc.Mapping {
+	return append(scc.Mapping(nil), s.mapping...)
+}
+
+// Reproduce regenerates a paper artefact by id ("table1", "fig1".."fig10",
+// "latency", or an ablation id) at the given testbed scale, returning the
+// rendered tables. Use Experiments for the list of ids.
+func Reproduce(id string, scale float64) ([]*stats.Table, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q", id)
+	}
+	return e.Run(experiments.Config{Scale: scale})
+}
+
+// Experiments lists the regenerable paper artefacts as id -> title.
+func Experiments() map[string]string {
+	out := map[string]string{}
+	for _, e := range experiments.All() {
+		out[e.ID] = e.Title
+	}
+	return out
+}
+
+// Testbed exposes the Table I suite.
+func Testbed() []sparse.TestbedEntry { return sparse.Testbed() }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func TestNewStudyDefaults(t *testing.T) {
+	s, err := NewStudy(StudyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock() != scc.Conf0 {
+		t.Fatalf("default clock %v", s.Clock())
+	}
+	if len(s.Mapping()) != 48 {
+		t.Fatalf("default mapping size %d", len(s.Mapping()))
+	}
+	if math.Abs(s.Power()-83.3) > 0.5 {
+		t.Fatalf("default power %.1f", s.Power())
+	}
+}
+
+func TestNewStudyValidation(t *testing.T) {
+	if _, err := NewStudy(StudyConfig{Config: "conf9"}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := NewStudy(StudyConfig{Cores: 99}); err == nil {
+		t.Error("99 cores accepted")
+	}
+	if _, err := NewStudy(StudyConfig{Mapping: "bogus"}); err == nil {
+		t.Error("bad mapping accepted")
+	}
+}
+
+func TestStudyRunTestbedEntry(t *testing.T) {
+	s, err := NewStudy(StudyConfig{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(MatrixSpec{Testbed: "lhr04", Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MFLOPS <= 0 || r.TimeSec <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	if r.UEs != 8 {
+		t.Fatalf("UEs = %d", r.UEs)
+	}
+}
+
+func TestStudyRunExplicitMatrixAndVector(t *testing.T) {
+	s, err := NewStudy(StudyConfig{Cores: 4, Config: "conf1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sparse.Laplacian2D(40)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i % 3)
+	}
+	r, err := s.RunVec(MatrixSpec{Matrix: a}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for i := range want {
+		if math.Abs(r.Y[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] mismatch", i)
+		}
+	}
+}
+
+func TestStudyMatrixSpecValidation(t *testing.T) {
+	s, _ := NewStudy(StudyConfig{Cores: 2})
+	if _, err := s.Run(MatrixSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := s.Run(MatrixSpec{Testbed: "missing"}); err == nil {
+		t.Error("unknown testbed name accepted")
+	}
+}
+
+func TestStudyVariantsAndL2(t *testing.T) {
+	spec := MatrixSpec{Testbed: "psmigr_1", Scale: 0.3}
+	std, err := NewStudy(StudyConfig{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStd, err := std.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noL2, err := NewStudy(StudyConfig{Cores: 8, DisableL2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNoL2, err := noL2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNoL2.MFLOPS >= rStd.MFLOPS {
+		t.Fatal("disabling L2 did not hurt")
+	}
+	noX, err := NewStudy(StudyConfig{Cores: 8, NoXMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNoX, err := noX.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// psmigr_1 is a random-pattern matrix: removing x misses must help.
+	if rNoX.MFLOPS <= rStd.MFLOPS {
+		t.Fatal("no-x-miss variant did not help an irregular matrix")
+	}
+}
+
+func TestReproduceFacade(t *testing.T) {
+	tables, err := Reproduce("latency", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Rows() != 4 {
+		t.Fatalf("latency tables = %d", len(tables))
+	}
+	if !strings.Contains(tables[0].String(), "hops") {
+		t.Fatal("unexpected table content")
+	}
+	if _, err := Reproduce("nope", 0.1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsListing(t *testing.T) {
+	m := Experiments()
+	for _, id := range []string{"table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if m[id] == "" {
+			t.Errorf("experiment %s missing from facade listing", id)
+		}
+	}
+}
+
+func TestTestbedFacade(t *testing.T) {
+	if len(Testbed()) != 32 {
+		t.Fatalf("testbed size %d", len(Testbed()))
+	}
+}

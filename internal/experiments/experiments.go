@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section, plus the ablations DESIGN.md calls out. Each
+// experiment is a named, self-contained function from a Config to one or
+// more rendered tables; cmd/sccsim and the repository benchmarks drive the
+// same registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Scale shrinks every testbed matrix (rows and nonzeros) by this
+	// factor in (0, 1]. 1.0 reproduces the paper's sizes; the default
+	// 0.25 keeps full sweeps to minutes on a laptop while preserving
+	// the working-set ordering.
+	Scale float64
+	// MaxMatrices truncates the testbed to its first N entries
+	// (0 = all 32). Used by quick runs and the benchmark harness.
+	MaxMatrices int
+	// Stride keeps only every Stride-th testbed entry (0 or 1 = all),
+	// composing with MaxMatrices. It preserves the ws spread while
+	// cutting cost.
+	Stride int
+}
+
+// DefaultConfig returns the standard configuration (quarter scale, full
+// testbed).
+func DefaultConfig() Config { return Config{Scale: 0.25} }
+
+// QuickConfig returns a configuration small enough for unit tests and
+// benchmarks: 10% scale, every fourth matrix. The scale is the smallest at
+// which the suite still straddles the aggregate L2 capacity (so working-set
+// and contention effects survive shrinking).
+func QuickConfig() Config { return Config{Scale: 0.10, Stride: 4} }
+
+func (c Config) validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("experiments: scale %v outside (0, 1]", c.Scale)
+	}
+	if c.MaxMatrices < 0 || c.Stride < 0 {
+		return fmt.Errorf("experiments: negative subset parameters")
+	}
+	return nil
+}
+
+// entries returns the selected testbed subset.
+func (c Config) entries() []sparse.TestbedEntry {
+	tb := sparse.Testbed()
+	stride := c.Stride
+	if stride <= 1 {
+		stride = 1
+	}
+	var out []sparse.TestbedEntry
+	for i := 0; i < len(tb); i += stride {
+		out = append(out, tb[i])
+	}
+	if c.MaxMatrices > 0 && len(out) > c.MaxMatrices {
+		out = out[:c.MaxMatrices]
+	}
+	return out
+}
+
+// forEachMatrix generates each selected matrix at the configured scale,
+// invokes fn, and releases the matrix before the next one (the full-scale
+// testbed would not fit in memory all at once).
+func (c Config) forEachMatrix(fn func(e sparse.TestbedEntry, a *sparse.CSR) error) error {
+	for _, e := range c.entries() {
+		a := e.GenerateScaled(c.Scale)
+		if err := fn(e, a); err != nil {
+			return fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// meanMFLOPS runs one simulator configuration across the subset and
+// averages MFLOPS (the paper reports arithmetic means across the suite).
+func (c Config) meanMFLOPS(m *sim.Machine, opts sim.Options) (float64, error) {
+	var vals []float64
+	err := c.forEachMatrix(func(_ sparse.TestbedEntry, a *sparse.CSR) error {
+		r, err := m.RunSpMV(a, nil, opts)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, r.MFLOPS)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return stats.Mean(vals), nil
+}
+
+// Experiment is one regenerable artefact.
+type Experiment struct {
+	// ID is the registry key (e.g. "fig5").
+	ID string
+	// Title describes the paper artefact being regenerated.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) ([]*stats.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// CoreCounts is the sweep the paper's line plots use.
+var CoreCounts = []int{1, 2, 4, 8, 16, 24, 32, 48}

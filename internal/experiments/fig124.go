@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: SCC floorplan and tile organisation",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: the CSR format and the reference SpMV kernel",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: standard vs distance-reduction UE placement",
+		Run:   runFig4,
+	})
+}
+
+// runFig1 regenerates the chip-overview figure: the 6x4 tile grid with core
+// numbering and controller placement, plus the per-tile datasheet.
+func runFig1(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 1 - SCC overview", "property", "value")
+	t.AddPreamble(scc.RenderChip())
+	t.AddRow("tiles", scc.NumTiles)
+	t.AddRow("cores", scc.NumCores)
+	t.AddRow("memory controllers", scc.NumControllers)
+	t.AddRow("L1 data cache", "16 KB, 4-way, 32 B lines, write-through")
+	t.AddRow("L2 cache", "256 KB, 4-way, 32 B lines, write-back, pseudo-LRU")
+	t.AddRow("MPB per core", fmt.Sprintf("%d KB", scc.MPBBytesPerCore/1024))
+	t.AddRow("private memory per core", fmt.Sprintf("%d MB", scc.PrivateMemPerCoreBytes>>20))
+	t.AddRow("tile clock range", "100-800 MHz (per-tile domains)")
+	t.AddRow("mesh clock", "800 or 1600 MHz")
+	t.AddRow("memory clock", "800 or 1066 MHz")
+	return []*stats.Table{t}, nil
+}
+
+// runFig2 regenerates the CSR worked example: a small sparse matrix in
+// dense form next to its Ptr/Index/Val arrays, with the kernel listing.
+func runFig2(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// The canonical 5x5 example.
+	coo := sparse.NewCOO(5, 5, 9)
+	for _, e := range [][3]int{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 3, 5}, {2, 4, 6}, {3, 3, 7}, {4, 1, 8}, {4, 4, 9}} {
+		coo.Append(e[0], e[1], float64(e[2]))
+	}
+	a := coo.ToCSR()
+
+	var dense strings.Builder
+	dense.WriteString("A =\n")
+	for i := 0; i < a.Rows; i++ {
+		dense.WriteString("  [")
+		for j := 0; j < a.Cols; j++ {
+			fmt.Fprintf(&dense, " %g", a.At(i, j))
+		}
+		dense.WriteString(" ]\n")
+	}
+	fmt.Fprintf(&dense, "\nPtr   = %v\nIndex = %v\nVal   = %v\n", a.Ptr, a.Index, a.Val)
+	dense.WriteString(`
+kernel (the paper's Figure 2):
+  for i = 0 .. n-1:
+      t = 0
+      for k = Ptr[i] .. Ptr[i+1]-1:
+          t += Val[k] * x[Index[k]]
+      y[i] = t
+`)
+
+	t := stats.NewTable("Figure 2 - CSR format example", "row", "stored columns", "stored values")
+	t.AddPreamble(dense.String())
+	for i := 0; i < a.Rows; i++ {
+		idx, val := a.Row(i)
+		t.AddRow(i, fmt.Sprintf("%v", idx), fmt.Sprintf("%v", val))
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig4 regenerates the mapping diagrams: where 8 units of execution land
+// under the standard and distance-reduction policies.
+func runFig4(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	const n = 8
+	t := stats.NewTable("Figure 4 - UE-to-core mappings (8 ranks)", "policy", "cores", "mean hops", "max hops")
+	std := scc.StandardMapping(n)
+	dr := scc.DistanceReductionMapping(n)
+	t.AddPreamble("(a) standard mapping:\n" + scc.RenderMapping(std))
+	t.AddPreamble("(b) distance reduction:\n" + scc.RenderMapping(dr))
+	t.AddRow("standard", fmt.Sprintf("%v", std), std.MeanHops(), std.MaxHops())
+	t.AddRow("distance", fmt.Sprintf("%v", dr), dr.MeanHops(), dr.MaxHops())
+	t.AddNote("the distance policy uses only 0-hop cores for the first 8 ranks")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: single-core SpMV vs distance (hops) to the memory controller",
+		Run:   runFig3,
+	})
+}
+
+// runFig3 reproduces Figure 3: one unit of execution placed on cores with
+// 0, 1, 2 and 3 hops to their memory controller; average MFLOPS across the
+// suite, plus the degradation relative to the 0-hop core. The paper reports
+// a noticeable drop, about 12% at 3 hops.
+func runFig3(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := sim.NewMachine(scc.Conf0)
+	t := stats.NewTable(
+		"Figure 3 - single-core performance by hop distance (conf0)",
+		"hops", "core", "avg MFLOPS", "vs 0 hops",
+	)
+	base := 0.0
+	for h := 0; h < 4; h++ {
+		core := scc.CoresWithHops(h)[0]
+		mean, err := cfg.meanMFLOPS(m, sim.Options{Mapping: scc.Mapping{core}})
+		if err != nil {
+			return nil, err
+		}
+		if h == 0 {
+			base = mean
+		}
+		t.AddRow(h, int(core), mean, mean/base)
+	}
+	t.AddNote("paper: monotone degradation, about 12%% at 3 hops")
+	return []*stats.Table{t}, nil
+}
+
+// runLatency regenerates the Eq. 1 latency table that explains Figure 3.
+func runLatency(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Eq. 1 - private memory round-trip latency (ns)",
+		"hops", "conf0", "conf1", "conf2",
+	)
+	for h := 0; h < 4; h++ {
+		t.AddRow(h,
+			scc.MemoryLatencySec(h, scc.Conf0)*1e9,
+			scc.MemoryLatencySec(h, scc.Conf1)*1e9,
+			scc.MemoryLatencySec(h, scc.Conf2)*1e9,
+		)
+	}
+	t.AddNote("40*C_core + 8*hops*C_mesh + 46*C_mem")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: clock configurations - performance and power efficiency",
+		Run:   runFig9,
+	})
+}
+
+// runFig9 reproduces Figure 9: (a) average performance under conf0
+// (533/800/800), conf1 (800/1600/1066) and conf2 (800/1600/800) across core
+// counts with speedups against conf0, and (b) full-system MFLOPS/W for the
+// three configurations at 48 cores. The paper reports conf1 speedups up to
+// 1.45, conf2 slightly above 1.2, a ~15% conf1-over-conf2 gap from the
+// memory clock alone, power rising from 83.3 W to 107.4 W under conf1, and
+// conf1 as the best MFLOPS/W with conf0 and conf2 practically tied.
+func runFig9(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name string
+		cc   scc.ClockConfig
+	}{
+		{"conf0", scc.Conf0},
+		{"conf1", scc.Conf1},
+		{"conf2", scc.Conf2},
+	}
+
+	perf := stats.NewTable(
+		"Figure 9(a) - configurations (avg MFLOPS)",
+		"cores", "conf0", "conf1", "conf2", "conf1/conf0", "conf2/conf0",
+	)
+	full := make(map[string]float64) // 48-core average per config
+	for _, n := range CoreCounts {
+		mapping := scc.DistanceReductionMapping(n)
+		vals := make([]float64, len(configs))
+		for i, c := range configs {
+			m := sim.NewMachine(c.cc)
+			v, err := cfg.meanMFLOPS(m, sim.Options{Mapping: mapping})
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+			if n == 48 {
+				full[c.name] = v
+			}
+		}
+		perf.AddRow(n, vals[0], vals[1], vals[2], vals[1]/vals[0], vals[2]/vals[0])
+	}
+	perf.AddNote("paper: conf1 up to 1.45x, conf2 slightly above 1.2x")
+
+	power := stats.NewTable(
+		"Figure 9(b) - full-system power efficiency (48 cores)",
+		"config", "clocks", "avg MFLOPS", "power (W)", "MFLOPS/W",
+	)
+	for _, c := range configs {
+		watts := scc.ConfigPower(c.cc)
+		power.AddRow(c.name, c.cc.String(), full[c.name], watts,
+			scc.MFLOPSPerWatt(full[c.name]/1000, watts))
+	}
+	power.AddNote("paper: 83.3 W at conf0 -> 107.4 W at conf1; conf1 best MFLOPS/W, conf0 ~ conf2")
+	return []*stats.Table{perf, power}, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/tune"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "analysis-powercap",
+		Title: "Analysis: performance/power Pareto frontier and power capping",
+		Run:   runAnalysisPowercap,
+	})
+}
+
+// runAnalysisPowercap extends Section IV-D from three named configurations
+// to the full clock grid: it sweeps tile x mesh x memory clocks on a
+// representative streaming matrix, reports the Pareto frontier, and answers
+// "what is the best configuration under a watt budget" for a budget sweep.
+func runAnalysisPowercap(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Representative large streaming matrix: pct20stif (3D stencil).
+	e, ok := sparse.TestbedEntryByName("pct20stif")
+	if !ok {
+		panic("experiments: pct20stif missing from the testbed")
+	}
+	a := e.GenerateScaled(cfg.Scale)
+	const cores = 48
+	points, err := tune.SweepConfigs(a, cores)
+	if err != nil {
+		return nil, err
+	}
+
+	front := stats.NewTable(
+		"Analysis - Pareto frontier (pct20stif, 48 cores)",
+		"core MHz", "mesh MHz", "mem MHz", "MFLOPS", "W", "MFLOPS/W",
+	)
+	for _, p := range tune.ParetoFrontier(points) {
+		front.AddRow(p.Config.CoreMHz, p.Config.MeshMHz, p.Config.MemMHz,
+			p.MFLOPS, p.Watts, p.EfficiencyMFLOPSPerWatt())
+	}
+	front.AddNote("every other configuration is dominated (slower and at least as hungry)")
+
+	caps := stats.NewTable(
+		"Analysis - best configuration under a power budget",
+		"budget (W)", "clocks", "MFLOPS", "W", "MFLOPS/W",
+	)
+	for _, budget := range []float64{70, 80, 90, 100, 110, 120} {
+		best, err := tune.BestUnderBudget(points, budget)
+		if err != nil {
+			caps.AddRow(budget, "none fits", 0.0, 0.0, 0.0)
+			continue
+		}
+		caps.AddRow(budget, best.Config.String(), best.MFLOPS, best.Watts,
+			best.EfficiencyMFLOPSPerWatt())
+	}
+	caps.AddNote("the paper's conf0/conf1/conf2 are three points of this space")
+	return []*stats.Table{front, caps}, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table I: matrix benchmark suite (n, nnz, nnz/n, working set)",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "latency",
+		Title: "Eq. 1: memory latency by hop distance and clock configuration",
+		Run:   runLatency,
+	})
+}
+
+// runTable1 reproduces Table I. The paper-scale columns come from the
+// testbed metadata (the reconstructed UFL statistics); the generated
+// columns report the synthetic instantiation at the configured scale so the
+// reconstruction is auditable.
+func runTable1(cfg Config) ([]*stats.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Table I - matrix benchmark suite",
+		"#", "Matrix", "n", "nnz", "nnz/n", "ws (MB)",
+		"gen n", "gen nnz", "gen nnz/n", "gen ws (MB)", "class",
+	)
+	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+		t.AddRow(
+			e.ID, e.Name, e.N, e.NNZ, e.NNZPerRow(), e.WorkingSetMB(),
+			a.Rows, a.NNZ(), a.NNZPerRow(), a.WorkingSetMB(), string(e.Class),
+		)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("paper-scale columns are the reconstructed UFL statistics; gen columns are the synthetic instantiation at scale %g", cfg.Scale)
+	return []*stats.Table{t}, nil
+}

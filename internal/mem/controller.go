@@ -1,0 +1,121 @@
+// Package mem models the SCC's four DDR3 memory controllers as shared
+// bandwidth resources. The per-access latency lives in package scc (the
+// documented 40/8·n/46-cycle formula); this package supplies what the
+// latency formula cannot: saturation when many cores stream through one
+// controller, and the read/write asymmetry Melot et al. measured on the
+// real chip (per-core read bandwidth holds up as readers are added, but
+// aggregate write throughput degrades with concurrent writers) - the paper
+// cites that result as one of the SCC's defining memory properties.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller describes one DDR3 memory controller.
+type Controller struct {
+	// ID is the controller index (0..3 on the SCC).
+	ID int
+	// MemMHz is the controller clock (800 or 1066 on the SCC).
+	MemMHz int
+}
+
+// Sustained-efficiency coefficients. DDR3 behind the SCC's mesh interface
+// sustains only a fraction of the pin bandwidth; reads sustain a roughly
+// constant fraction, while writes lose efficiency as writers are added
+// (buffer conflicts at the controller; Melot et al.).
+const (
+	readEfficiency      = 0.35
+	writeEfficiencyBase = 0.30
+	writeDegradePerCore = 0.15
+)
+
+// PeakBytesPerSec is the theoretical pin bandwidth: a 64-bit DDR channel
+// moving 8 bytes per controller clock.
+func (c Controller) PeakBytesPerSec() float64 {
+	if c.MemMHz <= 0 {
+		panic(fmt.Sprintf("mem: controller %d has non-positive clock %d", c.ID, c.MemMHz))
+	}
+	return float64(c.MemMHz) * 1e6 * 8
+}
+
+// EffectiveReadBW returns the sustained aggregate read bandwidth with the
+// given number of concurrently reading cores. Reads scale: the aggregate is
+// flat in the reader count (each core is latency-bound, not the controller).
+func (c Controller) EffectiveReadBW(readers int) float64 {
+	if readers <= 0 {
+		return 0
+	}
+	return readEfficiency * c.PeakBytesPerSec()
+}
+
+// EffectiveWriteBW returns the sustained aggregate write bandwidth with the
+// given number of concurrently writing cores. Aggregate write throughput
+// *decreases* as writers are added, matching the measurement the paper
+// cites: w(k) = base / (1 + d·(k-1)).
+func (c Controller) EffectiveWriteBW(writers int) float64 {
+	if writers <= 0 {
+		return 0
+	}
+	return writeEfficiencyBase * c.PeakBytesPerSec() / (1 + writeDegradePerCore*float64(writers-1))
+}
+
+// CoreDemand is one core's memory traffic over its kernel execution.
+type CoreDemand struct {
+	// ReadBytes and WriteBytes are the bytes moved from/to this
+	// controller.
+	ReadBytes, WriteBytes float64
+	// TimeSec is the core's uncontended execution time; traffic is
+	// spread uniformly over it.
+	TimeSec float64
+}
+
+// queueingCoeff sets how strongly memory latency inflates with controller
+// utilisation below saturation (queueing at the controller's request
+// buffers). The slowdown curve is max(1 + queueingCoeff·min(u, 1), u):
+// linear queueing delay up to saturation, pure bandwidth rationing beyond.
+const queueingCoeff = 0.30
+
+// Slowdown returns the factor (>= 1) by which memory-bound time stretches
+// when the given per-core demands share controller c. Cores run
+// concurrently over the window of the slowest core; their combined read and
+// write rates yield a utilisation u of the controller's effective
+// bandwidths. Below saturation requests queue (latency grows linearly in
+// u); past saturation everything memory-bound stretches by u itself.
+func Slowdown(c Controller, demands []CoreDemand) float64 {
+	u := Utilization(c, demands)
+	queued := 1 + queueingCoeff*math.Min(u, 1)
+	return math.Max(queued, u)
+}
+
+// Utilization returns the controller's demand/capacity ratio (can be < 1,
+// and > 1 when oversubscribed).
+func Utilization(c Controller, demands []CoreDemand) float64 {
+	var window, readBytes, writeBytes float64
+	readers, writers := 0, 0
+	for _, d := range demands {
+		if d.TimeSec > window {
+			window = d.TimeSec
+		}
+		readBytes += d.ReadBytes
+		writeBytes += d.WriteBytes
+		if d.ReadBytes > 0 {
+			readers++
+		}
+		if d.WriteBytes > 0 {
+			writers++
+		}
+	}
+	if window <= 0 {
+		return 0
+	}
+	u := 0.0
+	if readers > 0 {
+		u += readBytes / window / c.EffectiveReadBW(readers)
+	}
+	if writers > 0 {
+		u += writeBytes / window / c.EffectiveWriteBW(writers)
+	}
+	return u
+}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// BFSClustered is a locality-aware partitioner: it orders rows by a
+// breadth-first traversal of the matrix's symmetrised adjacency graph (so
+// graph-adjacent rows - which share x entries - sit in the same block) and
+// then cuts the BFS order into k contiguous pieces with balanced nonzero
+// counts. For matrices whose natural row order hides the structure (e.g. a
+// permuted band), this shrinks each UE's x footprint and with it the
+// per-core cache miss rate.
+func BFSClustered(a *sparse.CSR, k int) Parts {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	n := a.Rows
+	order := bfsOrder(a)
+
+	// Cut the BFS order into k pieces balanced by nonzeros.
+	parts := make(Parts, k)
+	total := a.NNZ()
+	target := func(u int) int { return int(float64(total) * float64(u+1) / float64(k)) }
+	cum := 0
+	u := 0
+	start := 0
+	for pos, row := range order {
+		cum += a.RowNNZ(int(row))
+		if cum >= target(u) && u < k-1 && pos+1 < n {
+			parts[u] = append([]int32(nil), order[start:pos+1]...)
+			start = pos + 1
+			u++
+		}
+	}
+	parts[u] = append([]int32(nil), order[start:]...)
+	// Any UEs past the last filled one keep empty (but non-nil) lists.
+	for i := range parts {
+		if parts[i] == nil {
+			parts[i] = []int32{}
+		}
+	}
+	return parts
+}
+
+// bfsOrder returns the rows of a in breadth-first order over the
+// symmetrised pattern, visiting components in ascending first-row order.
+func bfsOrder(a *sparse.CSR) []int32 {
+	n := a.Rows
+	t := a.Transpose()
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	var nbr []int32
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			nbr = nbr[:0]
+			for k := a.Ptr[v]; k < a.Ptr[v+1]; k++ {
+				nbr = append(nbr, a.Index[k])
+			}
+			for k := t.Ptr[v]; k < t.Ptr[v+1]; k++ {
+				nbr = append(nbr, t.Index[k])
+			}
+			sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
+			prev := int32(-1)
+			for _, c := range nbr {
+				if c == prev || int(c) == int(v) {
+					prev = c
+					continue
+				}
+				prev = c
+				if !visited[c] {
+					visited[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// XFootprint returns, per UE, the number of distinct x entries its rows
+// reference - the locality metric BFSClustered optimises.
+func XFootprint(a *sparse.CSR, p Parts) []int {
+	out := make([]int, len(p))
+	seen := make([]int32, a.Cols) // generation marks
+	gen := int32(0)
+	for u, rows := range p {
+		gen++
+		count := 0
+		for _, r := range rows {
+			for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+				c := a.Index[k]
+				if seen[c] != gen {
+					seen[c] = gen
+					count++
+				}
+			}
+		}
+		out[u] = count
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestBFSClusteredCovers(t *testing.T) {
+	a := genMatrix(21)
+	for _, k := range []int{1, 3, 8, 48} {
+		p := BFSClustered(a, k)
+		if len(p) != k {
+			t.Fatalf("k=%d: %d parts", k, len(p))
+		}
+		if err := p.Validate(a.Rows); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestBFSClusteredShrinksXFootprintOnShuffledBand(t *testing.T) {
+	band := sparse.Generate(sparse.Gen{
+		Name: "b", Class: sparse.PatternBanded, N: 4000, NNZTarget: 40000,
+		Bandwidth: 40, Seed: 5,
+	})
+	shuffled := sparse.ApplySymmetric(band, sparse.RandomPerm(4000, 9))
+	const k = 8
+	contiguous := ByNNZ(shuffled, k)
+	clustered := BFSClustered(shuffled, k)
+
+	sum := func(v []int) int {
+		s := 0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	fc := sum(XFootprint(shuffled, contiguous))
+	fb := sum(XFootprint(shuffled, clustered))
+	if fb >= fc {
+		t.Fatalf("BFS footprint %d not below contiguous %d", fb, fc)
+	}
+}
+
+func TestBFSClusteredNoopOnOrderedBand(t *testing.T) {
+	// An already-ordered band gains nothing (footprints comparable).
+	band := sparse.Generate(sparse.Gen{
+		Name: "b", Class: sparse.PatternBanded, N: 2000, NNZTarget: 20000,
+		Bandwidth: 30, Seed: 6,
+	})
+	const k = 4
+	sum := func(v []int) int {
+		s := 0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	fc := sum(XFootprint(band, ByNNZ(band, k)))
+	fb := sum(XFootprint(band, BFSClustered(band, k)))
+	if float64(fb) > 1.3*float64(fc) {
+		t.Fatalf("BFS hurt an ordered band: %d vs %d", fb, fc)
+	}
+}
+
+func TestBFSClusteredBalance(t *testing.T) {
+	a := genMatrix(22)
+	p := BFSClustered(a, 8)
+	if im := p.Imbalance(a); im > 2.5 {
+		t.Fatalf("imbalance %.2f", im)
+	}
+}
+
+func TestBFSClusteredDisconnected(t *testing.T) {
+	// Block-diagonal with isolated rows.
+	coo := sparse.NewCOO(10, 10, 10)
+	for i := 0; i < 10; i++ {
+		coo.Append(i, i, 1)
+	}
+	a := coo.ToCSR()
+	p := BFSClustered(a, 3)
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeBFSDispatch(t *testing.T) {
+	a := genMatrix(23)
+	p, err := Split(SchemeBFS, a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(a.Rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXFootprintKnown(t *testing.T) {
+	// Identity: each row references exactly its own column.
+	a := sparse.Identity(6)
+	p := ByRows(6, 2)
+	f := XFootprint(a, p)
+	if f[0] != 3 || f[1] != 3 {
+		t.Fatalf("footprints = %v", f)
+	}
+}
+
+func TestBFSPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	BFSClustered(sparse.Identity(3), 0)
+}

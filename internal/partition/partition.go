@@ -1,0 +1,168 @@
+// Package partition splits the rows of a sparse matrix across units of
+// execution. The paper's scheme assigns contiguous row blocks such that
+// every UE receives (as nearly as possible) the same number of nonzeros;
+// by-rows and cyclic splits are provided for the partitioning ablation.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Parts is one row assignment per UE: Parts[u] lists the rows UE u owns,
+// in the order it will process them.
+type Parts [][]int32
+
+// Validate checks that parts cover [0, n) exactly once.
+func (p Parts) Validate(n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for u, rows := range p {
+		for _, r := range rows {
+			if r < 0 || int(r) >= n {
+				return fmt.Errorf("partition: UE %d owns out-of-range row %d", u, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("partition: row %d assigned twice", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("partition: %d of %d rows assigned", total, n)
+	}
+	return nil
+}
+
+// NNZCounts returns the number of nonzeros each UE owns.
+func (p Parts) NNZCounts(a *sparse.CSR) []int {
+	out := make([]int, len(p))
+	for u, rows := range p {
+		for _, r := range rows {
+			out[u] += a.RowNNZ(int(r))
+		}
+	}
+	return out
+}
+
+// Imbalance returns max/mean of the per-UE nonzero counts (1 = perfect).
+func (p Parts) Imbalance(a *sparse.CSR) float64 {
+	counts := p.NNZCounts(a)
+	maxC, sum := 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(maxC) / mean
+}
+
+// ByNNZ splits the matrix row-wise into k contiguous blocks with balanced
+// nonzero counts - the paper's partitioning scheme. Every UE gets a
+// (possibly empty) block; blocks are in ascending row order.
+func ByNNZ(a *sparse.CSR, k int) Parts {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	parts := make(Parts, k)
+	nnz := a.NNZ()
+	n := a.Rows
+	row := 0
+	for u := 0; u < k; u++ {
+		// Ideal cumulative boundary after this UE.
+		target := int32(float64(nnz) * float64(u+1) / float64(k))
+		lo := row
+		for row < n && (a.Ptr[row+1] <= target || u == k-1) {
+			row++
+		}
+		// Guarantee progress when rows remain and UEs remain.
+		if row == lo && row < n && n-row >= k-u {
+			row++
+		}
+		rows := make([]int32, 0, row-lo)
+		for r := lo; r < row; r++ {
+			rows = append(rows, int32(r))
+		}
+		parts[u] = rows
+	}
+	// Any leftover rows (possible with pathological Ptr) go to the last UE.
+	for r := row; r < n; r++ {
+		parts[k-1] = append(parts[k-1], int32(r))
+	}
+	return parts
+}
+
+// ByRows splits [0, n) into k contiguous blocks with balanced row counts,
+// ignoring the nonzero distribution.
+func ByRows(n, k int) Parts {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	parts := make(Parts, k)
+	for u := 0; u < k; u++ {
+		lo := n * u / k
+		hi := n * (u + 1) / k
+		rows := make([]int32, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			rows = append(rows, int32(r))
+		}
+		parts[u] = rows
+	}
+	return parts
+}
+
+// Cyclic deals rows round-robin: UE u owns rows u, u+k, u+2k, ...
+// It balances heavy-tailed row distributions statistically but destroys
+// the contiguity the CSR streams rely on.
+func Cyclic(n, k int) Parts {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	parts := make(Parts, k)
+	for u := 0; u < k; u++ {
+		var rows []int32
+		for r := u; r < n; r += k {
+			rows = append(rows, int32(r))
+		}
+		parts[u] = rows
+	}
+	return parts
+}
+
+// Scheme names a partitioning strategy for the ablation harness.
+type Scheme string
+
+const (
+	// SchemeByNNZ is the paper's balanced-nonzero contiguous split.
+	SchemeByNNZ Scheme = "bynnz"
+	// SchemeByRows is a contiguous equal-row split.
+	SchemeByRows Scheme = "byrows"
+	// SchemeCyclic is a round-robin row deal.
+	SchemeCyclic Scheme = "cyclic"
+	// SchemeBFS clusters graph-adjacent rows before a balanced cut
+	// (see BFSClustered).
+	SchemeBFS Scheme = "bfs"
+)
+
+// Split applies the named scheme.
+func Split(s Scheme, a *sparse.CSR, k int) (Parts, error) {
+	switch s {
+	case SchemeByNNZ:
+		return ByNNZ(a, k), nil
+	case SchemeByRows:
+		return ByRows(a.Rows, k), nil
+	case SchemeCyclic:
+		return Cyclic(a.Rows, k), nil
+	case SchemeBFS:
+		return BFSClustered(a, k), nil
+	default:
+		return nil, fmt.Errorf("partition: unknown scheme %q", s)
+	}
+}

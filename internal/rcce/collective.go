@@ -1,0 +1,235 @@
+package rcce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants arrive. The last arrival runs
+// onRelease (may be nil) before waking the others, so side effects ordered
+// by the barrier are visible to every participant on exit.
+func (b *barrier) wait(onRelease func()) {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		if onRelease != nil {
+			onRelease()
+		}
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Barrier blocks until every UE in the program has entered it, mirroring
+// RCCE_barrier over the global communicator.
+func (u *UE) Barrier() {
+	u.comm.barrier.wait(func() { u.comm.bars.Add(1) })
+}
+
+// ReduceOp names a reduction operator.
+type ReduceOp int
+
+const (
+	// OpSum adds the contributions.
+	OpSum ReduceOp = iota
+	// OpMax takes the maximum.
+	OpMax
+	// OpMin takes the minimum.
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("rcce: unknown reduce op %d", op))
+	}
+}
+
+// Bcast distributes root's buf to every UE (linear fan-out from the root,
+// like RCCE_bcast's reference implementation). All UEs must pass buffers of
+// the same length.
+func (u *UE) Bcast(buf []byte, root int) error {
+	if root < 0 || root >= u.comm.n {
+		return fmt.Errorf("rcce: bcast with invalid root %d", root)
+	}
+	if u.comm.n == 1 {
+		return nil
+	}
+	if u.rank == root {
+		for r := 0; r < u.comm.n; r++ {
+			if r == root {
+				continue
+			}
+			if err := u.Send(buf, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return u.Recv(buf, root)
+}
+
+// Reduce combines every UE's vals elementwise with op into out at the root.
+// Non-root UEs may pass out == nil. All vals slices must share a length.
+func (u *UE) Reduce(op ReduceOp, vals []float64, out []float64, root int) error {
+	if root < 0 || root >= u.comm.n {
+		return fmt.Errorf("rcce: reduce with invalid root %d", root)
+	}
+	if u.rank != root {
+		return u.Send(float64sToBytes(vals), root)
+	}
+	if len(out) != len(vals) {
+		return fmt.Errorf("rcce: reduce root out length %d != vals length %d", len(out), len(vals))
+	}
+	copy(out, vals)
+	tmp := make([]byte, 8*len(vals))
+	for r := 0; r < u.comm.n; r++ {
+		if r == root {
+			continue
+		}
+		if err := u.Recv(tmp, r); err != nil {
+			return err
+		}
+		other := bytesToFloat64s(tmp)
+		for i := range out {
+			out[i] = op.apply(out[i], other[i])
+		}
+	}
+	return nil
+}
+
+// Allreduce performs Reduce at rank 0 followed by a broadcast, leaving the
+// combined result in out on every UE.
+func (u *UE) Allreduce(op ReduceOp, vals []float64, out []float64) error {
+	if len(out) != len(vals) {
+		return fmt.Errorf("rcce: allreduce out length %d != vals length %d", len(out), len(vals))
+	}
+	if u.rank == 0 {
+		if err := u.Reduce(op, vals, out, 0); err != nil {
+			return err
+		}
+	} else {
+		if err := u.Reduce(op, vals, nil, 0); err != nil {
+			return err
+		}
+	}
+	buf := float64sToBytes(out)
+	if err := u.Bcast(buf, 0); err != nil {
+		return err
+	}
+	copy(out, bytesToFloat64s(buf))
+	return nil
+}
+
+// Gather collects each UE's equal-sized vals into out at the root, ordered
+// by rank. out must hold NumUEs*len(vals) elements at the root; other ranks
+// may pass nil.
+func (u *UE) Gather(vals []float64, out []float64, root int) error {
+	if root < 0 || root >= u.comm.n {
+		return fmt.Errorf("rcce: gather with invalid root %d", root)
+	}
+	if u.rank != root {
+		return u.Send(float64sToBytes(vals), root)
+	}
+	if len(out) != u.comm.n*len(vals) {
+		return fmt.Errorf("rcce: gather root out length %d != %d", len(out), u.comm.n*len(vals))
+	}
+	copy(out[root*len(vals):], vals)
+	tmp := make([]byte, 8*len(vals))
+	for r := 0; r < u.comm.n; r++ {
+		if r == root {
+			continue
+		}
+		if err := u.Recv(tmp, r); err != nil {
+			return err
+		}
+		copy(out[r*len(vals):], bytesToFloat64s(tmp))
+	}
+	return nil
+}
+
+// SendFloat64s sends a float64 slice to dst.
+func (u *UE) SendFloat64s(vals []float64, dst int) error {
+	return u.Send(float64sToBytes(vals), dst)
+}
+
+// RecvFloat64s receives exactly len(out) float64s from src.
+func (u *UE) RecvFloat64s(out []float64, src int) error {
+	buf := make([]byte, 8*len(out))
+	if err := u.Recv(buf, src); err != nil {
+		return err
+	}
+	copy(out, bytesToFloat64s(buf))
+	return nil
+}
+
+func float64sToBytes(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func bytesToFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Scatter distributes equal-sized chunks of root's vals to every UE by
+// rank order: UE r receives vals[r*len(out) : (r+1)*len(out)] into out.
+// Non-root UEs may pass vals == nil.
+func (u *UE) Scatter(vals []float64, out []float64, root int) error {
+	if root < 0 || root >= u.comm.n {
+		return fmt.Errorf("rcce: scatter with invalid root %d", root)
+	}
+	if u.rank != root {
+		return u.RecvFloat64s(out, root)
+	}
+	if len(vals) != u.comm.n*len(out) {
+		return fmt.Errorf("rcce: scatter root vals length %d != %d", len(vals), u.comm.n*len(out))
+	}
+	copy(out, vals[root*len(out):(root+1)*len(out)])
+	for r := 0; r < u.comm.n; r++ {
+		if r == root {
+			continue
+		}
+		if err := u.SendFloat64s(vals[r*len(out):(r+1)*len(out)], r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package rcce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/scc"
+)
+
+func TestBcast(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	run(t, 6, func(u *UE) error {
+		buf := make([]byte, len(payload))
+		if u.Rank() == 2 {
+			copy(buf, payload)
+		}
+		if err := u.Bcast(buf, 2); err != nil {
+			return err
+		}
+		for i := range payload {
+			if buf[i] != payload[i] {
+				return fmt.Errorf("rank %d: buf = %v", u.Rank(), buf)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcastSingleUE(t *testing.T) {
+	run(t, 1, func(u *UE) error {
+		return u.Bcast([]byte{9}, 0)
+	})
+}
+
+func TestBcastInvalidRoot(t *testing.T) {
+	run(t, 2, func(u *UE) error {
+		if err := u.Bcast([]byte{1}, 7); err == nil {
+			return errors.New("invalid root accepted")
+		}
+		return nil
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 7
+	run(t, n, func(u *UE) error {
+		vals := []float64{float64(u.Rank()), 1}
+		var out []float64
+		if u.Rank() == 0 {
+			out = make([]float64, 2)
+		}
+		if err := u.Reduce(OpSum, vals, out, 0); err != nil {
+			return err
+		}
+		if u.Rank() == 0 {
+			wantSum := float64(n * (n - 1) / 2)
+			if out[0] != wantSum || out[1] != n {
+				return fmt.Errorf("reduce = %v, want [%v %v]", out, wantSum, float64(n))
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	run(t, 5, func(u *UE) error {
+		vals := []float64{float64(u.Rank())}
+		out := make([]float64, 1)
+		if err := u.Allreduce(OpMax, vals, out); err != nil {
+			return err
+		}
+		if out[0] != 4 {
+			return fmt.Errorf("allreduce max = %v", out[0])
+		}
+		if err := u.Allreduce(OpMin, vals, out); err != nil {
+			return err
+		}
+		if out[0] != 0 {
+			return fmt.Errorf("allreduce min = %v", out[0])
+		}
+		return nil
+	})
+}
+
+func TestAllreduceEveryoneGetsResult(t *testing.T) {
+	const n = 9
+	run(t, n, func(u *UE) error {
+		vals := []float64{1}
+		out := make([]float64, 1)
+		if err := u.Allreduce(OpSum, vals, out); err != nil {
+			return err
+		}
+		if out[0] != n {
+			return fmt.Errorf("rank %d: allreduce sum = %v, want %d", u.Rank(), out[0], n)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceLengthMismatch(t *testing.T) {
+	run(t, 1, func(u *UE) error {
+		if err := u.Allreduce(OpSum, []float64{1, 2}, make([]float64, 1)); err == nil {
+			return errors.New("length mismatch accepted")
+		}
+		return nil
+	})
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	run(t, n, func(u *UE) error {
+		vals := []float64{float64(u.Rank()), float64(u.Rank() * 10)}
+		var out []float64
+		if u.Rank() == 1 {
+			out = make([]float64, n*2)
+		}
+		if err := u.Gather(vals, out, 1); err != nil {
+			return err
+		}
+		if u.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				if out[2*r] != float64(r) || out[2*r+1] != float64(r*10) {
+					return fmt.Errorf("gather = %v", out)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendRecvFloat64s(t *testing.T) {
+	vals := []float64{math.Pi, -1.5, 0, math.Inf(1)}
+	run(t, 2, func(u *UE) error {
+		if u.Rank() == 0 {
+			return u.SendFloat64s(vals, 1)
+		}
+		out := make([]float64, len(vals))
+		if err := u.RecvFloat64s(out, 0); err != nil {
+			return err
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return fmt.Errorf("out = %v", out)
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceOpPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	ReduceOp(99).apply(1, 2)
+}
+
+func TestShmallocShared(t *testing.T) {
+	run(t, 4, func(u *UE) error {
+		s, err := u.Shmalloc("x", 4)
+		if err != nil {
+			return err
+		}
+		s[u.Rank()] = float64(u.Rank() + 1)
+		u.Barrier()
+		for i := 0; i < 4; i++ {
+			if s[i] != float64(i+1) {
+				return fmt.Errorf("rank %d sees shm %v", u.Rank(), s)
+			}
+		}
+		u.Barrier()
+		// Size conflict must error.
+		if _, err := u.Shmalloc("x", 8); err == nil {
+			return errors.New("conflicting shmalloc accepted")
+		}
+		if _, err := u.Shmalloc("neg", -1); err == nil {
+			return errors.New("negative shmalloc accepted")
+		}
+		return nil
+	})
+}
+
+func TestShmFree(t *testing.T) {
+	run(t, 1, func(u *UE) error {
+		if _, err := u.Shmalloc("tmp", 2); err != nil {
+			return err
+		}
+		u.ShmFree("tmp")
+		// After free, a different size is fine.
+		if _, err := u.Shmalloc("tmp", 8); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestPowerAPI(t *testing.T) {
+	// Ranks on different tiles (cores 0 and 46) so the clock change by
+	// rank 0 must not leak into rank 1's tile.
+	err := Run(2, scc.Mapping{0, 46}, scc.Uniform(scc.Conf0), func(u *UE) error {
+		if u.TileMHz() != 533 {
+			return fmt.Errorf("initial tile clock %d", u.TileMHz())
+		}
+		before := u.SystemPower()
+		u.Barrier() // everyone has read the initial state
+		if u.Rank() == 0 {
+			if err := u.SetTileMHz(800); err != nil {
+				return err
+			}
+			if u.TileMHz() != 800 {
+				return errors.New("tile clock not applied")
+			}
+			after := u.SystemPower()
+			if after <= before {
+				return errors.New("raising tile clock did not raise power")
+			}
+			if err := u.SetTileMHz(99); err == nil {
+				return errors.New("99 MHz accepted")
+			}
+		}
+		u.Barrier() // rank 0's change is visible chip-wide
+		if u.Rank() == 1 {
+			if u.TileMHz() != 533 {
+				return errors.New("rank 0's tile change leaked into another tile")
+			}
+			if u.Domains().TileMHz[0] != 800 {
+				return errors.New("rank 1 cannot see rank 0's tile change")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRCCEParallelSpMV runs the paper's actual communication pattern: x in
+// shared memory, row-partitioned SpMV, gather of y at rank 0 - verifying
+// the runtime supports the kernel end to end.
+func TestRCCEParallelSpMV(t *testing.T) {
+	const n, ues = 64, 4
+	// A small deterministic matrix (dense rows to keep it simple).
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = float64((i*j)%7) - 3
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%5) + 0.5
+	}
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += a[i][j] * x[j]
+		}
+	}
+
+	got := make([]float64, n)
+	err := Run(ues, nil, scc.Uniform(scc.Conf0), func(u *UE) error {
+		shx, err := u.Shmalloc("x", n)
+		if err != nil {
+			return err
+		}
+		if u.Rank() == 0 {
+			copy(shx, x)
+		}
+		u.Barrier()
+		lo := u.Rank() * n / ues
+		hi := (u.Rank() + 1) * n / ues
+		part := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				part[i-lo] += a[i][j] * shx[j]
+			}
+		}
+		if u.Rank() == 0 {
+			copy(got[lo:hi], part)
+			tmp := make([]float64, n/ues)
+			for r := 1; r < ues; r++ {
+				if err := u.RecvFloat64s(tmp, r); err != nil {
+					return err
+				}
+				copy(got[r*n/ues:], tmp)
+			}
+			return nil
+		}
+		return u.SendFloat64s(part, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	run(t, n, func(u *UE) error {
+		var vals []float64
+		if u.Rank() == 1 {
+			vals = make([]float64, 2*n)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+		}
+		out := make([]float64, 2)
+		if err := u.Scatter(vals, out, 1); err != nil {
+			return err
+		}
+		if out[0] != float64(2*u.Rank()) || out[1] != float64(2*u.Rank()+1) {
+			return fmt.Errorf("rank %d scatter = %v", u.Rank(), out)
+		}
+		return nil
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	run(t, 2, func(u *UE) error {
+		if u.Rank() != 0 {
+			// Pair the root's doomed validation calls: nothing sent.
+			return nil
+		}
+		if err := u.Scatter(nil, make([]float64, 1), 9); err == nil {
+			return errors.New("invalid root accepted")
+		}
+		if err := u.Scatter(make([]float64, 3), make([]float64, 2), 0); err == nil {
+			return errors.New("length mismatch accepted")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,116 @@
+package rcce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Non-blocking point-to-point operations in the style of iRCCE, the
+// asynchronous extension library Intel shipped alongside RCCE. An Isend or
+// Irecv returns a *Request immediately; the transfer progresses on a helper
+// goroutine (standing in for iRCCE's progress engine) and Wait/Test
+// complete it. Mixing blocking and non-blocking operations on the same
+// (source, destination) pair is ordered: both go through the pair's
+// rendezvous channel.
+
+// Request tracks an in-flight non-blocking operation.
+type Request struct {
+	done chan struct{}
+	once sync.Once
+	err  error
+	// kind is "isend" or "irecv" (for error messages).
+	kind string
+}
+
+func newRequest(kind string) *Request {
+	return &Request{done: make(chan struct{}), kind: kind}
+}
+
+func (r *Request) finish(err error) {
+	r.once.Do(func() {
+		r.err = err
+		close(r.done)
+	})
+}
+
+// Wait blocks until the operation completes and returns its error.
+func (r *Request) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+// The error is only meaningful when done is true.
+func (r *Request) Test() (done bool, err error) {
+	select {
+	case <-r.done:
+		return true, r.err
+	default:
+		return false, nil
+	}
+}
+
+// Isend starts a non-blocking send of data to dst and returns immediately.
+// The data slice is copied before Isend returns, so the caller may reuse it.
+// Completion (Wait/Test) follows RCCE's synchronous semantics: the send is
+// done when the receiver has accepted the whole payload.
+func (u *UE) Isend(data []byte, dst int) *Request {
+	req := newRequest("isend")
+	if dst < 0 || dst >= u.comm.n {
+		req.finish(fmt.Errorf("rcce: isend to invalid rank %d", dst))
+		return req
+	}
+	if dst == u.rank {
+		req.finish(fmt.Errorf("rcce: UE %d isend to itself", u.rank))
+		return req
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	go func() {
+		req.finish(u.Send(buf, dst))
+	}()
+	return req
+}
+
+// Irecv starts a non-blocking receive of exactly len(buf) bytes from src.
+// The caller must not touch buf until the request completes.
+func (u *UE) Irecv(buf []byte, src int) *Request {
+	req := newRequest("irecv")
+	if src < 0 || src >= u.comm.n {
+		req.finish(fmt.Errorf("rcce: irecv from invalid rank %d", src))
+		return req
+	}
+	if src == u.rank {
+		req.finish(fmt.Errorf("rcce: UE %d irecv from itself", u.rank))
+		return req
+	}
+	go func() {
+		req.finish(u.Recv(buf, src))
+	}()
+	return req
+}
+
+// WaitAll waits for every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SendRecv exchanges equal-sized payloads with a partner rank without
+// deadlock regardless of rank ordering: the send runs non-blocking while
+// the receive progresses - the canonical halo-exchange building block.
+func (u *UE) SendRecv(sendBuf []byte, recvBuf []byte, partner int) error {
+	s := u.Isend(sendBuf, partner)
+	if err := u.Recv(recvBuf, partner); err != nil {
+		// Drain the send before reporting so the goroutine cannot leak
+		// into a later operation on the same pair.
+		_ = s.Wait()
+		return err
+	}
+	return s.Wait()
+}

@@ -1,0 +1,206 @@
+// Package rcce is a functional workalike of Intel's RCCE ("rocky") light-
+// weight message-passing library for the SCC, built on goroutines. It
+// reproduces the programming model the paper's SpMV uses: a fixed set of
+// units of execution (UEs) addressed by rank, mapped onto physical cores by
+// a configurable mapping, synchronous point-to-point messages that move
+// through an 8 KB-per-core message passing buffer in line-sized chunks,
+// barriers, simple collectives, shared-memory allocation and the wall-clock
+// and power-management entry points.
+//
+// The package is *functionally* real - messages actually move between
+// goroutines and a misordered program really deadlocks - while performance
+// figures come from the separate timing simulator in internal/sim.
+package rcce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scc"
+)
+
+// ChunkBytes is the unit in which point-to-point payloads move through the
+// message passing buffer: one UE's MPB share.
+const ChunkBytes = scc.MPBBytesPerCore
+
+// Comm is one parallel program instance: the state shared by its UEs.
+type Comm struct {
+	n       int
+	mapping scc.Mapping
+	domains scc.FreqDomains
+
+	chans   map[pairKey]chan []byte
+	chansMu sync.Mutex
+
+	barrier *barrier
+
+	shmMu   sync.Mutex
+	shm     map[string][]float64
+	splits  map[string]*splitState
+	started time.Time
+
+	// statistics
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+	bars  atomic.Uint64
+}
+
+type pairKey struct{ src, dst int }
+
+// UE is the handle each unit of execution receives; it is only valid inside
+// the body function passed to Run.
+type UE struct {
+	comm *Comm
+	rank int
+}
+
+// Run starts n units of execution mapped onto cores by mapping (nil means
+// the RCCE default, rank r on core r) and runs body concurrently in each.
+// It returns after every UE finishes, joining any errors. The domains
+// argument fixes the chip clocks the power API reports and manipulates.
+func Run(n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) error) error {
+	if n <= 0 || n > scc.NumCores {
+		return fmt.Errorf("rcce: cannot run %d UEs on %d cores", n, scc.NumCores)
+	}
+	if mapping == nil {
+		mapping = scc.StandardMapping(n)
+	}
+	if len(mapping) != n {
+		return fmt.Errorf("rcce: mapping size %d != %d UEs", len(mapping), n)
+	}
+	if err := mapping.Validate(); err != nil {
+		return err
+	}
+	c := &Comm{
+		n:       n,
+		mapping: mapping,
+		domains: domains,
+		chans:   make(map[pairKey]chan []byte),
+		barrier: newBarrier(n),
+		shm:     make(map[string][]float64),
+		started: time.Now(),
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("rcce: UE %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(&UE{comm: c, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rank returns the UE's rank (0..NumUEs-1).
+func (u *UE) Rank() int { return u.rank }
+
+// NumUEs returns the number of units of execution in the program.
+func (u *UE) NumUEs() int { return u.comm.n }
+
+// Core returns the physical core this rank is mapped to.
+func (u *UE) Core() scc.CoreID { return u.comm.mapping[u.rank] }
+
+// Hops returns this UE's core-to-memory-controller distance.
+func (u *UE) Hops() int { return scc.HopsToMC(u.Core()) }
+
+// Wtime returns elapsed wall-clock seconds since the program started,
+// mirroring RCCE_wtime(), which the paper uses because the SCC cores lack a
+// frequency-invariant clock.
+func (u *UE) Wtime() float64 { return time.Since(u.comm.started).Seconds() }
+
+// channel returns the rendezvous channel for the ordered pair (src, dst).
+// Channels are unbuffered: a send blocks until the receiver arrives, which
+// is RCCE's synchronous point-to-point semantics.
+func (c *Comm) channel(src, dst int) chan []byte {
+	c.chansMu.Lock()
+	defer c.chansMu.Unlock()
+	k := pairKey{src, dst}
+	ch, ok := c.chans[k]
+	if !ok {
+		ch = make(chan []byte)
+		c.chans[k] = ch
+	}
+	return ch
+}
+
+// Send transmits data to the UE with the given rank, blocking until the
+// receiver has accepted all of it. Payloads move in ChunkBytes pieces, as
+// through the MPB. Sending to oneself or to an invalid rank is an error.
+func (u *UE) Send(data []byte, dst int) error {
+	if dst < 0 || dst >= u.comm.n {
+		return fmt.Errorf("rcce: send to invalid rank %d (have %d UEs)", dst, u.comm.n)
+	}
+	if dst == u.rank {
+		return fmt.Errorf("rcce: UE %d sending to itself", u.rank)
+	}
+	ch := u.comm.channel(u.rank, dst)
+	// An empty message still performs one rendezvous.
+	if len(data) == 0 {
+		ch <- nil
+		u.comm.msgs.Add(1)
+		return nil
+	}
+	for off := 0; off < len(data); off += ChunkBytes {
+		end := off + ChunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, data[off:end])
+		ch <- chunk
+	}
+	u.comm.msgs.Add(1)
+	u.comm.bytes.Add(uint64(len(data)))
+	return nil
+}
+
+// Recv receives exactly len(buf) bytes from rank src, blocking until the
+// matching Send completes. The sizes on both sides must agree, as in RCCE.
+func (u *UE) Recv(buf []byte, src int) error {
+	if src < 0 || src >= u.comm.n {
+		return fmt.Errorf("rcce: recv from invalid rank %d (have %d UEs)", src, u.comm.n)
+	}
+	if src == u.rank {
+		return fmt.Errorf("rcce: UE %d receiving from itself", u.rank)
+	}
+	ch := u.comm.channel(src, u.rank)
+	if len(buf) == 0 {
+		<-ch
+		return nil
+	}
+	off := 0
+	for off < len(buf) {
+		chunk := <-ch
+		if len(chunk) > len(buf)-off {
+			return fmt.Errorf("rcce: UE %d received %d-byte chunk into %d-byte window: size mismatch with sender %d",
+				u.rank, len(chunk), len(buf)-off, src)
+		}
+		copy(buf[off:], chunk)
+		off += len(chunk)
+	}
+	return nil
+}
+
+// Stats reports the communication volume of the program so far.
+type Stats struct {
+	Messages, Bytes, Barriers uint64
+}
+
+// Stats returns a snapshot of the program's communication counters.
+func (u *UE) Stats() Stats {
+	return Stats{
+		Messages: u.comm.msgs.Load(),
+		Bytes:    u.comm.bytes.Load(),
+		Barriers: u.comm.bars.Load(),
+	}
+}

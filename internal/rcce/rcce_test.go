@@ -1,0 +1,257 @@
+package rcce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/scc"
+)
+
+func run(t *testing.T, n int, body func(*UE) error) {
+	t.Helper()
+	if err := Run(n, nil, scc.Uniform(scc.Conf0), body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	var count atomic.Int32
+	run(t, 8, func(u *UE) error {
+		count.Add(1)
+		if u.Rank() < 0 || u.Rank() >= 8 {
+			return fmt.Errorf("bad rank %d", u.Rank())
+		}
+		if u.NumUEs() != 8 {
+			return fmt.Errorf("NumUEs = %d", u.NumUEs())
+		}
+		if u.Core() != scc.CoreID(u.Rank()) {
+			return fmt.Errorf("default mapping rank %d -> core %d", u.Rank(), u.Core())
+		}
+		return nil
+	})
+	if count.Load() != 8 {
+		t.Fatalf("%d UEs ran, want 8", count.Load())
+	}
+}
+
+func TestRunValidatesArguments(t *testing.T) {
+	body := func(*UE) error { return nil }
+	if err := Run(0, nil, scc.Uniform(scc.Conf0), body); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := Run(49, nil, scc.Uniform(scc.Conf0), body); err == nil {
+		t.Error("n=49 accepted")
+	}
+	if err := Run(4, scc.Mapping{0, 1}, scc.Uniform(scc.Conf0), body); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if err := Run(2, scc.Mapping{0, 0}, scc.Uniform(scc.Conf0), body); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := Run(4, nil, scc.Uniform(scc.Conf0), func(u *UE) error {
+		if u.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(2, nil, scc.Uniform(scc.Conf0), func(u *UE) error {
+		if u.Rank() == 1 {
+			panic("boom")
+		}
+		// Rank 0 must not block forever on a dead peer; do no comms.
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	payload := []byte("hello from rank 0")
+	run(t, 2, func(u *UE) error {
+		if u.Rank() == 0 {
+			return u.Send(payload, 1)
+		}
+		buf := make([]byte, len(payload))
+		if err := u.Recv(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, payload) {
+			return fmt.Errorf("got %q", buf)
+		}
+		return nil
+	})
+}
+
+func TestSendRecvLargePayloadChunks(t *testing.T) {
+	// 3.5 MPB chunks force the chunked path.
+	n := ChunkBytes*3 + ChunkBytes/2
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	run(t, 2, func(u *UE) error {
+		if u.Rank() == 0 {
+			return u.Send(data, 1)
+		}
+		buf := make([]byte, n)
+		if err := u.Recv(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, data) {
+			return errors.New("payload corrupted in chunked transfer")
+		}
+		return nil
+	})
+}
+
+func TestSendRecvZeroLength(t *testing.T) {
+	run(t, 2, func(u *UE) error {
+		if u.Rank() == 0 {
+			return u.Send(nil, 1)
+		}
+		return u.Recv(nil, 0)
+	})
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	run(t, 2, func(u *UE) error {
+		if u.Rank() != 0 {
+			return nil
+		}
+		if err := u.Send([]byte("x"), 5); err == nil {
+			return errors.New("send to rank 5 accepted")
+		}
+		if err := u.Send([]byte("x"), 0); err == nil {
+			return errors.New("self-send accepted")
+		}
+		if err := u.Recv(make([]byte, 1), -1); err == nil {
+			return errors.New("recv from -1 accepted")
+		}
+		if err := u.Recv(make([]byte, 1), 0); err == nil {
+			return errors.New("self-recv accepted")
+		}
+		return nil
+	})
+}
+
+func TestPingPongOrdering(t *testing.T) {
+	// Messages between a pair preserve order.
+	const k = 20
+	run(t, 2, func(u *UE) error {
+		if u.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := u.Send([]byte{byte(i)}, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			b := make([]byte, 1)
+			if err := u.Recv(b, 0); err != nil {
+				return err
+			}
+			if b[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, b[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	// Classic flag test: all UEs set a flag before the barrier; after
+	// the barrier every UE must observe every flag.
+	const n = 8
+	flags := make([]atomic.Bool, n)
+	run(t, n, func(u *UE) error {
+		flags[u.Rank()].Store(true)
+		u.Barrier()
+		for i := 0; i < n; i++ {
+			if !flags[i].Load() {
+				return fmt.Errorf("rank %d missing flag %d after barrier", u.Rank(), i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n, rounds = 6, 5
+	counters := make([]atomic.Int32, rounds)
+	run(t, n, func(u *UE) error {
+		for r := 0; r < rounds; r++ {
+			counters[r].Add(1)
+			u.Barrier()
+			if got := counters[r].Load(); got != n {
+				return fmt.Errorf("round %d: %d arrivals visible after barrier", r, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestStatsCount(t *testing.T) {
+	run(t, 2, func(u *UE) error {
+		if u.Rank() == 0 {
+			if err := u.Send(make([]byte, 100), 1); err != nil {
+				return err
+			}
+		} else {
+			if err := u.Recv(make([]byte, 100), 0); err != nil {
+				return err
+			}
+		}
+		u.Barrier()
+		s := u.Stats()
+		if s.Messages != 1 || s.Bytes != 100 || s.Barriers != 1 {
+			return fmt.Errorf("stats = %+v", s)
+		}
+		return nil
+	})
+}
+
+func TestWtimeAdvances(t *testing.T) {
+	run(t, 1, func(u *UE) error {
+		a := u.Wtime()
+		for i := 0; i < 1000; i++ {
+			_ = math.Sqrt(float64(i))
+		}
+		b := u.Wtime()
+		if b < a {
+			return errors.New("wtime went backwards")
+		}
+		return nil
+	})
+}
+
+func TestCustomMapping(t *testing.T) {
+	m := scc.DistanceReductionMapping(4)
+	err := Run(4, m, scc.Uniform(scc.Conf0), func(u *UE) error {
+		if u.Core() != m[u.Rank()] {
+			return fmt.Errorf("rank %d on core %d, want %d", u.Rank(), u.Core(), m[u.Rank()])
+		}
+		if u.Hops() != 0 {
+			return fmt.Errorf("distance-reduced rank %d has %d hops", u.Rank(), u.Hops())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

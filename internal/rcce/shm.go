@@ -1,0 +1,83 @@
+package rcce
+
+import (
+	"fmt"
+
+	"repro/internal/scc"
+)
+
+// Shared memory. A part of the SCC's main memory is mapped into every
+// core; RCCE exposes it through RCCE_shmalloc. Because the chip has no
+// cache coherence, programs must take care to flush/synchronise around
+// shared accesses - here a Barrier is the synchronisation point, and the
+// slices returned by Shmalloc are plain Go memory shared by all UEs (the
+// Go memory model makes the barrier a happens-before edge, mirroring the
+// flush-then-synchronise discipline SCC code needs).
+
+// Shmalloc returns the shared float64 slice registered under name, with n
+// elements, allocating it on first use. Every UE calling Shmalloc with the
+// same name receives the same slice; a size disagreement is an error.
+// Callers must synchronise access with Barrier, like real SCC software
+// coherence.
+func (u *UE) Shmalloc(name string, n int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("rcce: shmalloc of negative size %d", n)
+	}
+	c := u.comm
+	c.shmMu.Lock()
+	defer c.shmMu.Unlock()
+	if s, ok := c.shm[name]; ok {
+		if len(s) != n {
+			return nil, fmt.Errorf("rcce: shmalloc %q size %d conflicts with existing %d", name, n, len(s))
+		}
+		return s, nil
+	}
+	s := make([]float64, n)
+	c.shm[name] = s
+	return s, nil
+}
+
+// ShmFree releases the shared allocation registered under name.
+func (u *UE) ShmFree(name string) {
+	c := u.comm
+	c.shmMu.Lock()
+	defer c.shmMu.Unlock()
+	delete(c.shm, name)
+}
+
+// Power management. RCCE exposes the voltage/frequency controller; the
+// paper's Section IV-D uses it to step tiles between 100 and 800 MHz.
+// These methods adjust the Comm's frequency-domain record, which the power
+// model (scc.FullSystemPower) and the timing simulator consume.
+
+// SetTileMHz sets this UE's tile clock, affecting both cores on the tile.
+func (u *UE) SetTileMHz(mhz int) error {
+	if mhz < 100 || mhz > 800 {
+		return fmt.Errorf("rcce: tile clock %d MHz outside [100, 800]", mhz)
+	}
+	tile := u.Core().Tile()
+	u.comm.chansMu.Lock() // reuse a comm-wide mutex for the domains record
+	u.comm.domains.TileMHz[tile] = mhz
+	u.comm.chansMu.Unlock()
+	return nil
+}
+
+// TileMHz returns this UE's current tile clock.
+func (u *UE) TileMHz() int {
+	u.comm.chansMu.Lock()
+	defer u.comm.chansMu.Unlock()
+	return u.comm.domains.CoreMHzOf(u.Core())
+}
+
+// Domains returns a snapshot of the chip's frequency domains.
+func (u *UE) Domains() scc.FreqDomains {
+	u.comm.chansMu.Lock()
+	defer u.comm.chansMu.Unlock()
+	return u.comm.domains
+}
+
+// SystemPower returns the modelled full-system power under the current
+// frequency domains.
+func (u *UE) SystemPower() float64 {
+	return scc.FullSystemPower(u.Domains())
+}

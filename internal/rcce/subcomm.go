@@ -1,0 +1,156 @@
+package rcce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Subcommunicators in the style of RCCE_comm_split (itself modelled on
+// MPI_Comm_split): UEs calling Split with the same color form a group; each
+// gets a rank within the group ordered by key (ties broken by global rank).
+// Collectives on a SubComm span only its members.
+
+// SubComm is a group of UEs with local ranks.
+type SubComm struct {
+	u *UE
+	// members maps local rank -> global rank, ascending local rank.
+	members []int
+	// local is this UE's rank within the group.
+	local int
+	// barrier synchronises only the group.
+	barrier *barrier
+}
+
+// splitState coordinates one collective Split call across all UEs.
+type splitState struct {
+	mu      sync.Mutex
+	entries map[int][2]int // global rank -> (color, key)
+	done    *barrier
+	groups  map[int][]int // color -> ordered global ranks
+	bars    map[int]*barrier
+}
+
+// Split partitions the program's UEs into subcommunicators. EVERY UE must
+// call Split exactly once per `tag` (a caller-chosen label distinguishing
+// independent splits); UEs passing the same color land in the same group,
+// ordered by key then global rank. A negative color returns nil (the UE
+// opts out), mirroring MPI_UNDEFINED.
+func (u *UE) Split(tag string, color, key int) (*SubComm, error) {
+	c := u.comm
+	c.shmMu.Lock()
+	if c.splits == nil {
+		c.splits = map[string]*splitState{}
+	}
+	st, ok := c.splits[tag]
+	if !ok {
+		st = &splitState{
+			entries: map[int][2]int{},
+			done:    newBarrier(c.n),
+		}
+		c.splits[tag] = st
+	}
+	c.shmMu.Unlock()
+
+	st.mu.Lock()
+	if _, dup := st.entries[u.rank]; dup {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("rcce: UE %d called Split(%q) twice", u.rank, tag)
+	}
+	st.entries[u.rank] = [2]int{color, key}
+	st.mu.Unlock()
+
+	// Wait for every UE to contribute, then (once) build the groups.
+	st.done.wait(func() {
+		st.groups = map[int][]int{}
+		st.bars = map[int]*barrier{}
+		for rank, ck := range st.entries {
+			if ck[0] < 0 {
+				continue
+			}
+			st.groups[ck[0]] = append(st.groups[ck[0]], rank)
+		}
+		for color, ranks := range st.groups {
+			entries := st.entries
+			sort.Slice(ranks, func(a, b int) bool {
+				ka, kb := entries[ranks[a]][1], entries[ranks[b]][1]
+				if ka != kb {
+					return ka < kb
+				}
+				return ranks[a] < ranks[b]
+			})
+			st.bars[color] = newBarrier(len(ranks))
+		}
+	})
+
+	color = st.entries[u.rank][0]
+	if color < 0 {
+		return nil, nil
+	}
+	ranks := st.groups[color]
+	local := -1
+	for i, r := range ranks {
+		if r == u.rank {
+			local = i
+		}
+	}
+	return &SubComm{u: u, members: ranks, local: local, barrier: st.bars[color]}, nil
+}
+
+// Rank returns this UE's rank within the group.
+func (s *SubComm) Rank() int { return s.local }
+
+// Size returns the group size.
+func (s *SubComm) Size() int { return len(s.members) }
+
+// GlobalRank translates a group rank to the program-wide rank.
+func (s *SubComm) GlobalRank(local int) int { return s.members[local] }
+
+// Barrier blocks until every group member arrives.
+func (s *SubComm) Barrier() { s.barrier.wait(nil) }
+
+// Send transmits to a group rank.
+func (s *SubComm) Send(data []byte, dstLocal int) error {
+	if dstLocal < 0 || dstLocal >= len(s.members) {
+		return fmt.Errorf("rcce: subcomm send to invalid rank %d", dstLocal)
+	}
+	return s.u.Send(data, s.members[dstLocal])
+}
+
+// Recv receives from a group rank.
+func (s *SubComm) Recv(buf []byte, srcLocal int) error {
+	if srcLocal < 0 || srcLocal >= len(s.members) {
+		return fmt.Errorf("rcce: subcomm recv from invalid rank %d", srcLocal)
+	}
+	return s.u.Recv(buf, s.members[srcLocal])
+}
+
+// Allreduce combines vals elementwise across the group with op, leaving the
+// result in out on every member (linear reduce at group rank 0 + fan-out).
+func (s *SubComm) Allreduce(op ReduceOp, vals, out []float64) error {
+	if len(out) != len(vals) {
+		return fmt.Errorf("rcce: subcomm allreduce length mismatch")
+	}
+	if s.local == 0 {
+		copy(out, vals)
+		tmp := make([]float64, len(vals))
+		for r := 1; r < len(s.members); r++ {
+			if err := s.u.RecvFloat64s(tmp, s.members[r]); err != nil {
+				return err
+			}
+			for i := range out {
+				out[i] = op.apply(out[i], tmp[i])
+			}
+		}
+		for r := 1; r < len(s.members); r++ {
+			if err := s.u.SendFloat64s(out, s.members[r]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := s.u.SendFloat64s(vals, s.members[0]); err != nil {
+		return err
+	}
+	return s.u.RecvFloat64s(out, s.members[0])
+}

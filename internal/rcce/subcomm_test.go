@@ -1,0 +1,159 @@
+package rcce
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSplitByParity(t *testing.T) {
+	const n = 8
+	run(t, n, func(u *UE) error {
+		sc, err := u.Split("parity", u.Rank()%2, u.Rank())
+		if err != nil {
+			return err
+		}
+		if sc == nil {
+			return errors.New("nil subcomm for non-negative color")
+		}
+		if sc.Size() != n/2 {
+			return fmt.Errorf("group size %d", sc.Size())
+		}
+		// Local ranks ordered by key = global rank.
+		if sc.GlobalRank(sc.Rank()) != u.Rank() {
+			return fmt.Errorf("rank mapping broken: local %d -> global %d, me %d",
+				sc.Rank(), sc.GlobalRank(sc.Rank()), u.Rank())
+		}
+		// Group-local allreduce: sum of members' global ranks.
+		out := make([]float64, 1)
+		if err := sc.Allreduce(OpSum, []float64{float64(u.Rank())}, out); err != nil {
+			return err
+		}
+		want := 0.0
+		for r := u.Rank() % 2; r < n; r += 2 {
+			want += float64(r)
+		}
+		if out[0] != want {
+			return fmt.Errorf("group sum = %v, want %v", out[0], want)
+		}
+		sc.Barrier()
+		return nil
+	})
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	const n = 4
+	run(t, n, func(u *UE) error {
+		// Reverse key order: highest global rank becomes local rank 0.
+		sc, err := u.Split("rev", 0, -u.Rank())
+		if err != nil {
+			return err
+		}
+		if sc.GlobalRank(0) != n-1 {
+			return fmt.Errorf("local 0 = global %d, want %d", sc.GlobalRank(0), n-1)
+		}
+		if sc.Rank() != n-1-u.Rank() {
+			return fmt.Errorf("rank %d local %d", u.Rank(), sc.Rank())
+		}
+		return nil
+	})
+}
+
+func TestSplitOptOut(t *testing.T) {
+	const n = 6
+	run(t, n, func(u *UE) error {
+		color := 0
+		if u.Rank() >= 4 {
+			color = -1 // opt out
+		}
+		sc, err := u.Split("optout", color, 0)
+		if err != nil {
+			return err
+		}
+		if u.Rank() >= 4 {
+			if sc != nil {
+				return errors.New("opted-out UE received a subcomm")
+			}
+			return nil
+		}
+		if sc.Size() != 4 {
+			return fmt.Errorf("group size %d, want 4", sc.Size())
+		}
+		sc.Barrier() // only the 4 members participate
+		return nil
+	})
+}
+
+func TestSubCommSendRecv(t *testing.T) {
+	run(t, 4, func(u *UE) error {
+		sc, err := u.Split("p2p", u.Rank()/2, u.Rank())
+		if err != nil {
+			return err
+		}
+		// Each pair: local 0 sends to local 1.
+		if sc.Rank() == 0 {
+			return sc.Send([]byte{byte(u.Rank())}, 1)
+		}
+		buf := make([]byte, 1)
+		if err := sc.Recv(buf, 0); err != nil {
+			return err
+		}
+		if int(buf[0]) != sc.GlobalRank(0) {
+			return fmt.Errorf("got %d from local 0 (global %d)", buf[0], sc.GlobalRank(0))
+		}
+		return nil
+	})
+}
+
+func TestSubCommValidation(t *testing.T) {
+	run(t, 2, func(u *UE) error {
+		sc, err := u.Split("v", 0, 0)
+		if err != nil {
+			return err
+		}
+		if err := sc.Send([]byte{1}, 5); err == nil {
+			return errors.New("send to invalid local rank accepted")
+		}
+		if err := sc.Recv(make([]byte, 1), -1); err == nil {
+			return errors.New("recv from invalid local rank accepted")
+		}
+		if err := sc.Allreduce(OpSum, []float64{1}, make([]float64, 2)); err == nil {
+			return errors.New("length mismatch accepted")
+		}
+		// Double split on the same tag is an error.
+		if _, err := u.Split("v", 0, 0); err == nil {
+			return errors.New("second Split on the same tag accepted")
+		}
+		return nil
+	})
+}
+
+func TestSplitIndependentTags(t *testing.T) {
+	run(t, 4, func(u *UE) error {
+		rows, err := u.Split("rows", u.Rank()/2, 0)
+		if err != nil {
+			return err
+		}
+		cols, err := u.Split("cols", u.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		if rows.Size() != 2 || cols.Size() != 2 {
+			return fmt.Errorf("sizes %d/%d", rows.Size(), cols.Size())
+		}
+		// 2D reduction: sum over row group then over column group
+		// yields the global sum - the classic grid pattern.
+		rowSum := make([]float64, 1)
+		if err := rows.Allreduce(OpSum, []float64{float64(u.Rank())}, rowSum); err != nil {
+			return err
+		}
+		total := make([]float64, 1)
+		if err := cols.Allreduce(OpSum, rowSum, total); err != nil {
+			return err
+		}
+		if total[0] != 6 { // 0+1+2+3
+			return fmt.Errorf("2D reduction = %v, want 6", total[0])
+		}
+		return nil
+	})
+}

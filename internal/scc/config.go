@@ -1,0 +1,112 @@
+package scc
+
+import "fmt"
+
+// ClockConfig selects the three SCC clock domains. Tiles (pairs of cores)
+// can be clocked from 100 to 800 MHz; the mesh runs at 800 MHz or 1.6 GHz
+// and the memory controllers at 800 or 1066 MHz, both fixed at chip
+// initialisation (Section II of the paper).
+type ClockConfig struct {
+	// CoreMHz is the tile/core clock (uniform across tiles; use
+	// FreqDomains for per-tile control).
+	CoreMHz int
+	// MeshMHz is the mesh network clock.
+	MeshMHz int
+	// MemMHz is the memory controller clock.
+	MemMHz int
+}
+
+// The three configurations evaluated in Section IV-D.
+var (
+	// Conf0 is the default configuration: cores 533, mesh 800,
+	// memory 800 MHz.
+	Conf0 = ClockConfig{CoreMHz: 533, MeshMHz: 800, MemMHz: 800}
+	// Conf1 is the fastest available configuration: 800/1600/1066.
+	Conf1 = ClockConfig{CoreMHz: 800, MeshMHz: 1600, MemMHz: 1066}
+	// Conf2 raises cores and mesh but keeps memory at the default:
+	// 800/1600/800.
+	Conf2 = ClockConfig{CoreMHz: 800, MeshMHz: 1600, MemMHz: 800}
+)
+
+// NamedConfigs returns the paper's three configurations keyed by the names
+// used in Figure 9.
+func NamedConfigs() map[string]ClockConfig {
+	return map[string]ClockConfig{"conf0": Conf0, "conf1": Conf1, "conf2": Conf2}
+}
+
+// Validate checks the configuration against the chip's documented limits.
+func (c ClockConfig) Validate() error {
+	if c.CoreMHz < 100 || c.CoreMHz > 800 {
+		return fmt.Errorf("scc: core clock %d MHz outside [100, 800]", c.CoreMHz)
+	}
+	if c.MeshMHz != 800 && c.MeshMHz != 1600 {
+		return fmt.Errorf("scc: mesh clock %d MHz not one of 800, 1600", c.MeshMHz)
+	}
+	if c.MemMHz != 800 && c.MemMHz != 1066 {
+		return fmt.Errorf("scc: memory clock %d MHz not one of 800, 1066", c.MemMHz)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer ("533/800/800").
+func (c ClockConfig) String() string {
+	return fmt.Sprintf("%d/%d/%d", c.CoreMHz, c.MeshMHz, c.MemMHz)
+}
+
+// Cycle periods are returned as float64 seconds rather than time.Duration:
+// a 533 MHz cycle is 1.876 ns, which Duration's 1 ns resolution would
+// truncate by 47%.
+
+// CoreCycleSec returns the period of one core clock cycle in seconds.
+func (c ClockConfig) CoreCycleSec() float64 { return mhzCycleSec(c.CoreMHz) }
+
+// MeshCycleSec returns the period of one mesh clock cycle in seconds.
+func (c ClockConfig) MeshCycleSec() float64 { return mhzCycleSec(c.MeshMHz) }
+
+// MemCycleSec returns the period of one memory clock cycle in seconds.
+func (c ClockConfig) MemCycleSec() float64 { return mhzCycleSec(c.MemMHz) }
+
+func mhzCycleSec(mhz int) float64 {
+	if mhz <= 0 {
+		panic(fmt.Sprintf("scc: non-positive clock %d MHz", mhz))
+	}
+	return 1 / (float64(mhz) * 1e6)
+}
+
+// FreqDomains carries a per-tile core clock, exposing the SCC's 24
+// independent tile frequency domains. Mesh and memory clocks stay chip-wide.
+type FreqDomains struct {
+	// TileMHz holds one core clock per tile.
+	TileMHz [NumTiles]int
+	// MeshMHz and MemMHz are chip-wide.
+	MeshMHz, MemMHz int
+}
+
+// Uniform builds per-tile domains from a uniform configuration.
+func Uniform(c ClockConfig) FreqDomains {
+	var d FreqDomains
+	for t := range d.TileMHz {
+		d.TileMHz[t] = c.CoreMHz
+	}
+	d.MeshMHz = c.MeshMHz
+	d.MemMHz = c.MemMHz
+	return d
+}
+
+// Validate checks every domain against the chip limits.
+func (d FreqDomains) Validate() error {
+	for t, f := range d.TileMHz {
+		if f < 100 || f > 800 {
+			return fmt.Errorf("scc: tile %d clock %d MHz outside [100, 800]", t, f)
+		}
+	}
+	return ClockConfig{CoreMHz: d.TileMHz[0], MeshMHz: d.MeshMHz, MemMHz: d.MemMHz}.Validate()
+}
+
+// CoreMHzOf returns the clock of the tile hosting core c.
+func (d FreqDomains) CoreMHzOf(c CoreID) int { return d.TileMHz[c.Tile()] }
+
+// ConfigFor returns the effective uniform-style config seen by core c.
+func (d FreqDomains) ConfigFor(c CoreID) ClockConfig {
+	return ClockConfig{CoreMHz: d.CoreMHzOf(c), MeshMHz: d.MeshMHz, MemMHz: d.MemMHz}
+}

@@ -1,0 +1,300 @@
+package scc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperConfigurations(t *testing.T) {
+	if (Conf0 != ClockConfig{533, 800, 800}) {
+		t.Fatalf("Conf0 = %v", Conf0)
+	}
+	if (Conf1 != ClockConfig{800, 1600, 1066}) {
+		t.Fatalf("Conf1 = %v", Conf1)
+	}
+	if (Conf2 != ClockConfig{800, 1600, 800}) {
+		t.Fatalf("Conf2 = %v", Conf2)
+	}
+	for name, c := range NamedConfigs() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestConfigValidateLimits(t *testing.T) {
+	bad := []ClockConfig{
+		{CoreMHz: 99, MeshMHz: 800, MemMHz: 800},
+		{CoreMHz: 801, MeshMHz: 800, MemMHz: 800},
+		{CoreMHz: 533, MeshMHz: 1000, MemMHz: 800},
+		{CoreMHz: 533, MeshMHz: 800, MemMHz: 900},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted bad config", c)
+		}
+	}
+	good := ClockConfig{CoreMHz: 100, MeshMHz: 1600, MemMHz: 1066}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%v) = %v", good, err)
+	}
+}
+
+func TestCycleDurations(t *testing.T) {
+	c := ClockConfig{CoreMHz: 500, MeshMHz: 800, MemMHz: 800}
+	if got := c.CoreCycleSec(); math.Abs(got-2e-9) > 1e-15 {
+		t.Fatalf("500 MHz cycle = %v s, want 2ns", got)
+	}
+	if got := Conf0.MeshCycleSec(); math.Abs(got-1.25e-9) > 1e-15 {
+		t.Fatalf("800 MHz cycle = %v s, want 1.25ns", got)
+	}
+	// 533 MHz must not be truncated: 1.876... ns.
+	if got := Conf0.CoreCycleSec(); math.Abs(got-1/(533e6)) > 1e-18 {
+		t.Fatalf("533 MHz cycle = %v", got)
+	}
+	if got := Conf1.MemCycleSec(); math.Abs(got-1/(1066e6)) > 1e-18 {
+		t.Fatalf("1066 MHz cycle = %v", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if Conf0.String() != "533/800/800" {
+		t.Fatalf("String = %q", Conf0.String())
+	}
+}
+
+func TestFreqDomains(t *testing.T) {
+	d := Uniform(Conf0)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for c := CoreID(0); c < NumCores; c++ {
+		if d.CoreMHzOf(c) != 533 {
+			t.Fatalf("core %d at %d MHz", c, d.CoreMHzOf(c))
+		}
+	}
+	// Per-tile control: slow down tile 3 only.
+	d.TileMHz[3] = 100
+	if d.CoreMHzOf(6) != 100 || d.CoreMHzOf(7) != 100 {
+		t.Fatal("tile 3 cores did not change frequency")
+	}
+	if d.CoreMHzOf(8) != 533 {
+		t.Fatal("tile 4 affected by tile 3 change")
+	}
+	cfg := d.ConfigFor(6)
+	if cfg.CoreMHz != 100 || cfg.MeshMHz != 800 {
+		t.Fatalf("ConfigFor = %v", cfg)
+	}
+	d.TileMHz[0] = 99
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate accepted 99 MHz tile")
+	}
+}
+
+func TestMemoryLatencyFormula(t *testing.T) {
+	// 40·C_core + 8·hops·C_mesh + 46·C_mem; conf0 in microseconds:
+	lat0 := MemoryLatencySec(0, Conf0) * 1e6
+	want0 := 40.0/533 + 46.0/800
+	if math.Abs(lat0-want0) > 1e-9 {
+		t.Fatalf("0-hop latency = %vµs, want %v", lat0, want0)
+	}
+	// Each hop adds 8 mesh cycles = 10ns at 800 MHz.
+	perHop := (MemoryLatencySec(1, Conf0) - MemoryLatencySec(0, Conf0)) * 1e9
+	if math.Abs(perHop-10) > 1e-6 {
+		t.Fatalf("per-hop increment = %vns, want 10ns", perHop)
+	}
+}
+
+func TestMemoryLatencyMonotonicInHops(t *testing.T) {
+	tab := CoreLatencyTable(Conf0)
+	for h := 1; h < 4; h++ {
+		if tab[h] <= tab[h-1] {
+			t.Fatalf("latency not increasing: %v", tab)
+		}
+	}
+}
+
+func TestMemoryLatencyFasterClocksFaster(t *testing.T) {
+	for h := 0; h < 4; h++ {
+		if MemoryLatencySec(h, Conf1) >= MemoryLatencySec(h, Conf0) {
+			t.Fatalf("conf1 not faster at %d hops", h)
+		}
+		if MemoryLatencySec(h, Conf2) >= MemoryLatencySec(h, Conf0) {
+			t.Fatalf("conf2 not faster at %d hops", h)
+		}
+		// conf1 beats conf2 purely via the memory clock.
+		if MemoryLatencySec(h, Conf1) >= MemoryLatencySec(h, Conf2) {
+			t.Fatalf("conf1 not faster than conf2 at %d hops", h)
+		}
+	}
+}
+
+func TestMemoryLatencyCoreCycles(t *testing.T) {
+	// At 0 hops the core-cycle equivalent must exceed the raw 40-cycle
+	// core component (the memory part adds more).
+	cc := MemoryLatencyCoreCycles(0, Conf0)
+	if cc <= LatCoreCycles {
+		t.Fatalf("latency %v core cycles <= %d", cc, LatCoreCycles)
+	}
+	// And 3 hops adds 24 mesh cycles = 24·(533/800) core cycles.
+	d := MemoryLatencyCoreCycles(3, Conf0) - MemoryLatencyCoreCycles(0, Conf0)
+	want := 24.0 * 533 / 800
+	if math.Abs(d-want) > 0.5 {
+		t.Fatalf("3-hop delta = %v core cycles, want ~%v", d, want)
+	}
+}
+
+func TestMemoryLatencyPanicsOnNegativeHops(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative hops did not panic")
+		}
+	}()
+	MemoryLatencySec(-1, Conf0)
+}
+
+func TestPowerAnchors(t *testing.T) {
+	// The paper: 83.3 W at conf0 with 48 cores; 107.4 W at conf1.
+	p0 := ConfigPower(Conf0)
+	if math.Abs(p0-83.3) > 0.5 {
+		t.Fatalf("conf0 power = %.2f W, want ~83.3", p0)
+	}
+	p1 := ConfigPower(Conf1)
+	if math.Abs(p1-107.4) > 0.5 {
+		t.Fatalf("conf1 power = %.2f W, want ~107.4", p1)
+	}
+	p2 := ConfigPower(Conf2)
+	if p2 <= p0 || p2 >= p1 {
+		t.Fatalf("conf2 power %.2f not between conf0 %.2f and conf1 %.2f", p2, p0, p1)
+	}
+	// "about 30%" increase for conf1 over conf0.
+	if r := p1 / p0; r < 1.25 || r > 1.35 {
+		t.Fatalf("conf1/conf0 power ratio = %.3f, want ~1.29", r)
+	}
+}
+
+func TestPowerScalesWithTileFrequency(t *testing.T) {
+	d := Uniform(Conf0)
+	base := FullSystemPower(d)
+	d.TileMHz[0] = 800
+	if FullSystemPower(d) <= base {
+		t.Fatal("raising one tile's clock did not raise power")
+	}
+	d2 := Uniform(Conf0)
+	d2.TileMHz[0] = 100
+	if FullSystemPower(d2) >= base {
+		t.Fatal("lowering one tile's clock did not lower power")
+	}
+}
+
+func TestVoltageRail(t *testing.T) {
+	if v := Voltage(800); math.Abs(v-1.1) > 1e-9 {
+		t.Fatalf("V(800) = %v, want 1.1", v)
+	}
+	if Voltage(100) >= Voltage(800) {
+		t.Fatal("voltage not increasing with frequency")
+	}
+}
+
+func TestMFLOPSPerWatt(t *testing.T) {
+	if got := MFLOPSPerWatt(1.0, 100); got != 10 {
+		t.Fatalf("1 GFLOPS at 100 W = %v MFLOPS/W, want 10", got)
+	}
+	if MFLOPSPerWatt(1, 0) != 0 {
+		t.Fatal("zero watts must not divide")
+	}
+}
+
+func TestVoltageIslandLayout(t *testing.T) {
+	// 6 islands of 4 tiles; every tile in exactly one island.
+	count := map[int]int{}
+	for tile := TileID(0); tile < NumTiles; tile++ {
+		isl := IslandOf(tile)
+		if isl < 0 || isl >= VoltageIslands {
+			t.Fatalf("tile %d island %d", tile, isl)
+		}
+		count[isl]++
+	}
+	for i := 0; i < VoltageIslands; i++ {
+		if count[i] != 4 {
+			t.Fatalf("island %d has %d tiles", i, count[i])
+		}
+		tiles := IslandTiles(i)
+		if len(tiles) != 4 {
+			t.Fatalf("IslandTiles(%d) = %v", i, tiles)
+		}
+		for _, tl := range tiles {
+			if IslandOf(tl) != i {
+				t.Fatalf("tile %d not mapped back to island %d", tl, i)
+			}
+		}
+	}
+	// Tiles 0,1 (bottom-left 2x2 block) share island 0 with tiles 6,7.
+	if IslandOf(0) != 0 || IslandOf(1) != 0 || IslandOf(6) != 0 || IslandOf(7) != 0 {
+		t.Fatal("bottom-left island membership wrong")
+	}
+	if IslandOf(2) == 0 {
+		t.Fatal("tile 2 should start island 1")
+	}
+}
+
+func TestVoltageIslandPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { IslandOf(-1) },
+		func() { IslandTiles(6) },
+		func() { IslandTiles(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIslandVoltageFollowsFastestTile(t *testing.T) {
+	d := Uniform(Conf0)
+	base := IslandVoltage(d, 0)
+	if math.Abs(base-Voltage(533)) > 1e-12 {
+		t.Fatalf("uniform island voltage %v", base)
+	}
+	// Raise one tile in island 0: the whole island's rail rises.
+	d.TileMHz[0] = 800
+	if got := IslandVoltage(d, 0); math.Abs(got-Voltage(800)) > 1e-12 {
+		t.Fatalf("island voltage %v after raising one tile", got)
+	}
+	// A different island is unaffected.
+	if got := IslandVoltage(d, 5); math.Abs(got-Voltage(533)) > 1e-12 {
+		t.Fatalf("unrelated island voltage %v", got)
+	}
+}
+
+func TestIslandSharingCostsPower(t *testing.T) {
+	// Slowing a single tile saves less power than slowing its whole
+	// island, because the shared rail stays at the fast tiles' voltage.
+	uniform := Uniform(Conf0)
+	base := FullSystemPower(uniform)
+
+	oneSlow := Uniform(Conf0)
+	oneSlow.TileMHz[0] = 100
+	pOne := FullSystemPower(oneSlow)
+
+	islandSlow := Uniform(Conf0)
+	for _, tl := range IslandTiles(0) {
+		islandSlow.TileMHz[tl] = 100
+	}
+	pIsland := FullSystemPower(islandSlow)
+
+	if !(pIsland < pOne && pOne < base) {
+		t.Fatalf("power ordering broken: island %.2f, one %.2f, base %.2f", pIsland, pOne, base)
+	}
+	// Savings per tile: the island-wide slowdown must save more than 4x
+	// the single-tile savings (voltage drops only in the island case).
+	if (base - pIsland) <= 4*(base-pOne) {
+		t.Fatalf("voltage sharing not visible: island saves %.3f, single saves %.3f",
+			base-pIsland, base-pOne)
+	}
+}

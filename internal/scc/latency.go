@@ -1,0 +1,54 @@
+package scc
+
+// Memory latency model. The SCC documentation (and Section IV-A of the
+// paper) gives the round-trip time of a private-memory request as
+//
+//	40·C_core + 4·n·2·C_mesh + 46·C_mem
+//
+// where C_core, C_mesh and C_mem are the respective clock periods and n is
+// the number of mesh hops between the requesting core's router and the
+// memory controller's router. The constants are fixed chip properties:
+const (
+	// LatCoreCycles is the core-cycle component (cache-miss handling in
+	// the core and mesh interface unit).
+	LatCoreCycles = 40
+	// LatMeshCyclesPerHop is charged per hop in each direction: 4 mesh
+	// cycles per router traversal, doubled for the round trip.
+	LatMeshCyclesPerHop = 4 * 2
+	// LatMemCycles is the DDR3 access component at the controller.
+	LatMemCycles = 46
+)
+
+// MemoryLatencySec returns the round-trip latency in seconds of one
+// private-memory access from a core whose router is hops away from its
+// memory controller, under the given clocks.
+func MemoryLatencySec(hops int, c ClockConfig) float64 {
+	if hops < 0 {
+		panic("scc: negative hop count")
+	}
+	return LatCoreCycles*c.CoreCycleSec() +
+		float64(LatMeshCyclesPerHop*hops)*c.MeshCycleSec() +
+		LatMemCycles*c.MemCycleSec()
+}
+
+// MemoryLatencyCoreCycles converts MemoryLatencySec into equivalent cycles
+// of the requesting core's clock - the unit the timing simulation
+// accumulates.
+func MemoryLatencyCoreCycles(hops int, c ClockConfig) float64 {
+	return MemoryLatencySec(hops, c) / c.CoreCycleSec()
+}
+
+// CoreLatencyTable returns MemoryLatencySec for every hop distance 0..3
+// (the distances present under the default quadrant assignment).
+func CoreLatencyTable(c ClockConfig) [4]float64 {
+	var t [4]float64
+	for h := range t {
+		t[h] = MemoryLatencySec(h, c)
+	}
+	return t
+}
+
+// L2HitCoreCycles is the load-to-use latency of the per-core 256 KB L2 in
+// core cycles. The P54C-era L2 on the SCC runs at core clock; 18 cycles is
+// the commonly reported value for the SCC's L2 pipeline.
+const L2HitCoreCycles = 18

@@ -1,0 +1,146 @@
+package scc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Mapping assigns RCCE units of execution (ranks) to physical cores:
+// Mapping[rank] = core. The paper's Section IV-A shows the choice matters:
+// its "distance reduction" policy beats the default by up to 1.23x.
+type Mapping []CoreID
+
+// Validate checks that the mapping uses valid, distinct cores.
+func (m Mapping) Validate() error {
+	if len(m) == 0 || len(m) > NumCores {
+		return fmt.Errorf("scc: mapping size %d outside [1, %d]", len(m), NumCores)
+	}
+	seen := map[CoreID]bool{}
+	for rank, c := range m {
+		if !c.Valid() {
+			return fmt.Errorf("scc: rank %d mapped to invalid core %d", rank, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("scc: core %d mapped twice", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// MaxHops returns the largest core-to-controller distance in the mapping.
+func (m Mapping) MaxHops() int {
+	best := 0
+	for _, c := range m {
+		if h := HopsToMC(c); h > best {
+			best = h
+		}
+	}
+	return best
+}
+
+// MeanHops returns the average core-to-controller distance.
+func (m Mapping) MeanHops() float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	s := 0
+	for _, c := range m {
+		s += HopsToMC(c)
+	}
+	return float64(s) / float64(len(m))
+}
+
+// MappingPolicy names a UE-to-core placement strategy.
+type MappingPolicy string
+
+const (
+	// MapStandard is the RCCE default: rank r runs on core r
+	// (Figure 4(a)). It ignores memory distance entirely.
+	MapStandard MappingPolicy = "standard"
+	// MapDistanceReduction places ranks on the available cores with the
+	// fewest hops to their memory controller (Figure 4(b)), balancing
+	// across the four controllers at each distance level.
+	MapDistanceReduction MappingPolicy = "distance"
+	// MapRandom places ranks on uniformly random distinct cores; a
+	// baseline for the mapping study.
+	MapRandom MappingPolicy = "random"
+)
+
+// Map builds a mapping of n ranks under the policy. seed is used only by
+// MapRandom.
+func Map(policy MappingPolicy, n int, seed int64) (Mapping, error) {
+	if n <= 0 || n > NumCores {
+		return nil, fmt.Errorf("scc: cannot map %d units onto %d cores", n, NumCores)
+	}
+	switch policy {
+	case MapStandard:
+		return StandardMapping(n), nil
+	case MapDistanceReduction:
+		return DistanceReductionMapping(n), nil
+	case MapRandom:
+		return RandomMapping(n, seed), nil
+	default:
+		return nil, fmt.Errorf("scc: unknown mapping policy %q", policy)
+	}
+}
+
+// StandardMapping is the RCCE default: ranks 0..n-1 on cores 0..n-1.
+func StandardMapping(n int) Mapping {
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = CoreID(i)
+	}
+	return m
+}
+
+// DistanceReductionMapping selects the n cores with the lowest hop count to
+// their memory controller, filling distance level by distance level. Within
+// a level it round-robins across the four controllers so memory load stays
+// balanced, and within a controller it takes cores in ascending id order.
+// With n=4 this yields cores 0, 1, 10 and 11 - the two 0-hop tiles of the
+// bottom quadrants - matching the paper's worked example exactly.
+func DistanceReductionMapping(n int) Mapping {
+	// Group 0-hop..3-hop cores per controller.
+	perMC := make([][][]CoreID, NumControllers) // [mc][hops][]cores
+	for mc := 0; mc < NumControllers; mc++ {
+		perMC[mc] = make([][]CoreID, 4)
+	}
+	for c := CoreID(0); c < NumCores; c++ {
+		mc := ControllerFor(c).ID
+		h := HopsToMC(c)
+		perMC[mc][h] = append(perMC[mc][h], c)
+	}
+	m := make(Mapping, 0, n)
+	for h := 0; h < 4 && len(m) < n; h++ {
+		// Round-robin controllers, two cores (one tile) at a time so
+		// tile pairs stay together like the paper's example.
+		idx := [NumControllers]int{}
+		for len(m) < n {
+			progressed := false
+			for mc := 0; mc < NumControllers && len(m) < n; mc++ {
+				for take := 0; take < CoresPerTile && idx[mc] < len(perMC[mc][h]) && len(m) < n; take++ {
+					m = append(m, perMC[mc][h][idx[mc]])
+					idx[mc]++
+					progressed = true
+				}
+			}
+			if !progressed {
+				break // level exhausted
+			}
+		}
+	}
+	return m
+}
+
+// RandomMapping places n ranks on distinct uniformly random cores.
+func RandomMapping(n int, seed int64) Mapping {
+	perm := rand.New(rand.NewSource(seed)).Perm(NumCores)
+	m := make(Mapping, n)
+	for i := 0; i < n; i++ {
+		m[i] = CoreID(perm[i])
+	}
+	sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
+	return m
+}

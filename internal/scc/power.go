@@ -1,0 +1,113 @@
+package scc
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Power model. The paper reports the SCC's measured full-system average
+// power while running SpMV: 83.3 W under the default configuration and
+// 107.4 W under conf1 (all 48 cores), with conf2 sitting in between such
+// that its MFLOPS/W roughly matches conf0's. We model
+//
+//	P = P_static + sum_tiles 2·k_core·f·V(f)^2 + k_mesh·f_mesh + k_mem·f_mem
+//
+// with a linear voltage/frequency rail V(f) = 0.7 + 0.4·(f/800 MHz) (the
+// SCC scales tile voltage with the requested tile clock), and the three
+// coefficients anchored so the model reproduces the paper's 83.3 W and
+// 107.4 W measurements and a conf2 power near 100 W.
+const (
+	// staticWatts is frequency-independent chip + board power.
+	staticWatts = 43.83
+	// kCoreWattsPerMHzV2 converts f·V² (MHz·V²) to watts per core.
+	kCoreWattsPerMHzV2 = 0.000386
+	// kMeshWattsPerMHz is the mesh domain coefficient.
+	kMeshWattsPerMHz = 0.010
+	// kMemWattsPerMHz is the aggregate memory-controller coefficient.
+	kMemWattsPerMHz = 0.0278
+)
+
+// Voltage returns the minimum supply voltage for a core clock in MHz.
+func Voltage(coreMHz int) float64 {
+	return 0.7 + 0.4*float64(coreMHz)/800
+}
+
+// Voltage islands. The SCC's voltage regulator controls six islands of
+// four tiles (2x2 tile blocks); every tile in an island shares a rail, so
+// the island runs at the voltage its fastest tile requires. Frequency is
+// per tile, voltage per island - which is why mixed-clock configurations
+// save less power than a pure per-tile voltage model would suggest.
+const (
+	// VoltageIslands is the number of 2x2-tile voltage domains.
+	VoltageIslands = 6
+	islandCols     = TilesX / 2 // 3 islands across
+)
+
+// IslandOf returns the voltage island (0..5) containing the tile.
+func IslandOf(t TileID) int {
+	if !t.Valid() {
+		panic(fmt.Sprintf("scc: invalid tile %d", t))
+	}
+	c := t.Coord()
+	return (c.X / 2) + islandCols*(c.Y/2)
+}
+
+// IslandTiles returns the four tiles of a voltage island.
+func IslandTiles(island int) []TileID {
+	if island < 0 || island >= VoltageIslands {
+		panic(fmt.Sprintf("scc: invalid voltage island %d", island))
+	}
+	x0 := (island % islandCols) * 2
+	y0 := (island / islandCols) * 2
+	var out []TileID
+	for dy := 0; dy < 2; dy++ {
+		for dx := 0; dx < 2; dx++ {
+			out = append(out, TileAt(mesh.Coord{X: x0 + dx, Y: y0 + dy}))
+		}
+	}
+	return out
+}
+
+// IslandVoltage returns the rail voltage of an island under the given
+// domains: the voltage demanded by its fastest tile.
+func IslandVoltage(d FreqDomains, island int) float64 {
+	maxF := 0
+	for _, t := range IslandTiles(island) {
+		if f := d.TileMHz[t]; f > maxF {
+			maxF = f
+		}
+	}
+	return Voltage(maxF)
+}
+
+// FullSystemPower returns the modelled chip power in watts with every tile
+// clocked per the domains (all 48 cores active, the configuration in which
+// the paper reports power). Each tile's dynamic power uses its own clock
+// but its island's shared rail voltage.
+func FullSystemPower(d FreqDomains) float64 {
+	p := staticWatts
+	var islandV [VoltageIslands]float64
+	for i := range islandV {
+		islandV[i] = IslandVoltage(d, i)
+	}
+	for t, f := range d.TileMHz {
+		v := islandV[IslandOf(TileID(t))]
+		p += CoresPerTile * kCoreWattsPerMHzV2 * float64(f) * v * v
+	}
+	p += kMeshWattsPerMHz * float64(d.MeshMHz)
+	p += kMemWattsPerMHz * float64(d.MemMHz)
+	return p
+}
+
+// ConfigPower returns the full-system power of a uniform configuration.
+func ConfigPower(c ClockConfig) float64 { return FullSystemPower(Uniform(c)) }
+
+// MFLOPSPerWatt is the paper's power-efficiency metric: full-system
+// MFLOPS/s divided by full-system watts.
+func MFLOPSPerWatt(gflops, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return gflops * 1000 / watts
+}

@@ -1,0 +1,80 @@
+package scc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderChip draws the SCC floorplan as ASCII art in the orientation of the
+// paper's Figure 1: the 6x4 tile grid with per-tile core numbers and the
+// four memory controllers on the periphery. Rows print top (y=3) to bottom
+// (y=0).
+func RenderChip() string {
+	return renderWith(func(t TileID) string {
+		c := t.Cores()
+		return fmt.Sprintf("%2d,%-2d", int(c[0]), int(c[1]))
+	})
+}
+
+// RenderMapping draws the floorplan with each tile annotated by the ranks
+// mapped onto its cores ("--" for an unused core) - the presentation of the
+// paper's Figure 4.
+func RenderMapping(m Mapping) string {
+	rankOf := map[CoreID]int{}
+	for rank, core := range m {
+		rankOf[core] = rank
+	}
+	return renderWith(func(t TileID) string {
+		var parts [CoresPerTile]string
+		for i, core := range t.Cores() {
+			if r, ok := rankOf[core]; ok {
+				parts[i] = fmt.Sprintf("%2d", r)
+			} else {
+				parts[i] = "--"
+			}
+		}
+		return parts[0] + "," + parts[1]
+	})
+}
+
+// renderWith draws the grid, labelling each tile with label(tile).
+func renderWith(label func(TileID) string) string {
+	cell := 0
+	labels := make([]string, NumTiles)
+	for t := TileID(0); t < NumTiles; t++ {
+		labels[t] = label(t)
+		if len(labels[t]) > cell {
+			cell = len(labels[t])
+		}
+	}
+	var b strings.Builder
+	mcAt := map[int]map[int]int{} // y -> x -> mc id for edge annotation
+	for _, mc := range Controllers() {
+		if mcAt[mc.Coord.Y] == nil {
+			mcAt[mc.Coord.Y] = map[int]int{}
+		}
+		mcAt[mc.Coord.Y][mc.Coord.X] = mc.ID
+	}
+	border := "+" + strings.Repeat(strings.Repeat("-", cell+2)+"+", TilesX)
+	for y := TilesY - 1; y >= 0; y-- {
+		b.WriteString("      " + border + "\n")
+		// MC annotation on the left/right margin for this row.
+		left, right := "      ", ""
+		if mcs, ok := mcAt[y]; ok {
+			if id, ok := mcs[0]; ok {
+				left = fmt.Sprintf("MC%d ->", id)
+			}
+			if id, ok := mcs[TilesX-1]; ok {
+				right = fmt.Sprintf(" <- MC%d", id)
+			}
+		}
+		b.WriteString(left + "|")
+		for x := 0; x < TilesX; x++ {
+			t := TileAt(meshCoord(x, y))
+			fmt.Fprintf(&b, " %-*s |", cell, labels[t])
+		}
+		b.WriteString(right + "\n")
+	}
+	b.WriteString("      " + border + "\n")
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package scc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChipShowsAllCoresAndControllers(t *testing.T) {
+	out := RenderChip()
+	// Corner tiles' core pairs must appear.
+	for _, want := range []string{" 0,1 ", "10,11", "36,37", "46,47"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chip map missing %q:\n%s", want, out)
+		}
+	}
+	for _, mc := range []string{"MC0 ->", " <- MC1", "MC2 ->", " <- MC3"} {
+		if !strings.Contains(out, mc) {
+			t.Errorf("chip map missing controller label %q:\n%s", mc, out)
+		}
+	}
+	// 4 tile rows + 5 borders = at least 9 lines.
+	if n := strings.Count(out, "\n"); n < 9 {
+		t.Fatalf("chip map has %d lines:\n%s", n, out)
+	}
+}
+
+func TestRenderMappingMarksUsedCores(t *testing.T) {
+	out := RenderMapping(DistanceReductionMapping(4)) // cores 0,1,10,11
+	if !strings.Contains(out, " 0, 1") {
+		t.Errorf("ranks 0,1 not on tile 0:\n%s", out)
+	}
+	if !strings.Contains(out, " 2, 3") {
+		t.Errorf("ranks 2,3 not on tile 5:\n%s", out)
+	}
+	if !strings.Contains(out, "--,--") {
+		t.Errorf("unused cores not marked:\n%s", out)
+	}
+}
+
+func TestRenderMappingFullChipHasNoGaps(t *testing.T) {
+	out := RenderMapping(StandardMapping(48))
+	if strings.Contains(out, "--,") || strings.Contains(out, ",--") {
+		t.Fatalf("full mapping shows unused cores:\n%s", out)
+	}
+}

@@ -1,0 +1,163 @@
+// Package scc models the Intel Single-chip Cloud Computer's architecture:
+// 48 P54C cores on 24 tiles arranged in a 6x4 mesh, four DDR3 memory
+// controllers at the mesh periphery, per-tile core frequency domains,
+// chip-wide mesh and memory clock domains, the documented memory latency
+// formula, unit-of-execution-to-core mapping policies, and a power model
+// anchored to the paper's measurements.
+package scc
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Chip geometry constants (SCC External Architecture Specification).
+const (
+	// TilesX and TilesY are the mesh dimensions.
+	TilesX = 6
+	TilesY = 4
+	// NumTiles is the tile count.
+	NumTiles = TilesX * TilesY
+	// CoresPerTile is two P54C cores per tile.
+	CoresPerTile = 2
+	// NumCores is the total core count.
+	NumCores = NumTiles * CoresPerTile
+	// NumControllers is the number of DDR3 memory controllers.
+	NumControllers = 4
+	// MPBBytesPerCore is each core's share of the tile's 16 KB message
+	// passing buffer.
+	MPBBytesPerCore = 8 << 10
+	// CacheLineBytes is the L1/L2/MPB line size.
+	CacheLineBytes = 32
+	// PrivateMemPerCoreBytes is each core's private DRAM domain in the
+	// 32 GB configuration the paper uses (64 MB per core).
+	PrivateMemPerCoreBytes = 64 << 20
+)
+
+// CoreID identifies one of the 48 cores (0..47). Cores 2t and 2t+1 live on
+// tile t, matching the SCC's default numbering (Figure 1 of the paper).
+type CoreID int
+
+// TileID identifies one of the 24 tiles (0..23), numbered row-major from
+// the bottom-left corner of the mesh.
+type TileID int
+
+// Valid reports whether the core id is in range.
+func (c CoreID) Valid() bool { return c >= 0 && c < NumCores }
+
+// Tile returns the tile hosting the core.
+func (c CoreID) Tile() TileID { return TileID(c / CoresPerTile) }
+
+// Valid reports whether the tile id is in range.
+func (t TileID) Valid() bool { return t >= 0 && t < NumTiles }
+
+// Coord returns the tile's mesh coordinate.
+func (t TileID) Coord() mesh.Coord {
+	return mesh.Coord{X: int(t) % TilesX, Y: int(t) / TilesX}
+}
+
+// Cores returns the two cores on the tile.
+func (t TileID) Cores() [CoresPerTile]CoreID {
+	return [CoresPerTile]CoreID{CoreID(t) * CoresPerTile, CoreID(t)*CoresPerTile + 1}
+}
+
+// TileAt returns the tile at a mesh coordinate.
+func TileAt(c mesh.Coord) TileID {
+	if c.X < 0 || c.X >= TilesX || c.Y < 0 || c.Y >= TilesY {
+		panic(fmt.Sprintf("scc: coordinate %v outside the %dx%d mesh", c, TilesX, TilesY))
+	}
+	return TileID(c.Y*TilesX + c.X)
+}
+
+// Coord returns the mesh coordinate of the core's tile router.
+func (c CoreID) Coord() mesh.Coord { return c.Tile().Coord() }
+
+// MemController is one of the four DDR3 controllers. Each hangs off the
+// router of a peripheral tile: the left and right edge tiles of mesh rows
+// 0 and 2.
+type MemController struct {
+	// ID is the controller index 0..3 (MC0..MC3).
+	ID int
+	// Coord is the router the controller attaches to.
+	Coord mesh.Coord
+}
+
+// Controllers returns the four memory controllers in ID order:
+// MC0 bottom-left (0,0), MC1 bottom-right (5,0), MC2 top-left (0,2),
+// MC3 top-right (5,2).
+func Controllers() [NumControllers]MemController {
+	return [NumControllers]MemController{
+		{ID: 0, Coord: mesh.Coord{X: 0, Y: 0}},
+		{ID: 1, Coord: mesh.Coord{X: 5, Y: 0}},
+		{ID: 2, Coord: mesh.Coord{X: 0, Y: 2}},
+		{ID: 3, Coord: mesh.Coord{X: 5, Y: 2}},
+	}
+}
+
+// ControllerFor returns the controller serving the core's private memory
+// under the default quadrant assignment: six tiles (12 cores) share each
+// controller. The bottom-left quadrant (tiles with X<=2, Y<=1) maps to MC0,
+// bottom-right to MC1, top-left to MC2 and top-right to MC3; the paper's
+// example (cores 0-5 and 12-17 behind MC0) corresponds to this layout.
+func ControllerFor(c CoreID) MemController {
+	if !c.Valid() {
+		panic(fmt.Sprintf("scc: invalid core %d", c))
+	}
+	pos := c.Coord()
+	idx := 0
+	if pos.X >= TilesX/2 {
+		idx++
+	}
+	if pos.Y >= TilesY/2 {
+		idx += 2
+	}
+	return Controllers()[idx]
+}
+
+// HopsToMC returns the number of mesh hops between the core's router and
+// its default memory controller's router. On the default quadrant layout
+// the possible values are 0 through 3 (all distances the paper measures in
+// Figure 3).
+func HopsToMC(c CoreID) int {
+	mc := ControllerFor(c)
+	pos := c.Coord()
+	return abs(pos.X-mc.Coord.X) + abs(pos.Y-mc.Coord.Y)
+}
+
+// CoresWithHops returns, in ascending core order, the cores whose distance
+// to their memory controller is exactly h.
+func CoresWithHops(h int) []CoreID {
+	var out []CoreID
+	for c := CoreID(0); c < NumCores; c++ {
+		if HopsToMC(c) == h {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// QuadrantCores returns the 12 cores served by controller mcID in ascending
+// core order.
+func QuadrantCores(mcID int) []CoreID {
+	if mcID < 0 || mcID >= NumControllers {
+		panic(fmt.Sprintf("scc: invalid controller %d", mcID))
+	}
+	var out []CoreID
+	for c := CoreID(0); c < NumCores; c++ {
+		if ControllerFor(c).ID == mcID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// meshCoord builds a mesh coordinate (small helper for rendering).
+func meshCoord(x, y int) mesh.Coord { return mesh.Coord{X: x, Y: y} }

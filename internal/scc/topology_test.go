@@ -1,0 +1,172 @@
+package scc
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if NumTiles != 24 || NumCores != 48 || NumControllers != 4 {
+		t.Fatalf("geometry: %d tiles, %d cores, %d MCs", NumTiles, NumCores, NumControllers)
+	}
+}
+
+func TestCoreTileRelationship(t *testing.T) {
+	// The paper's Figure 1: cores 2t and 2t+1 live on tile t.
+	for c := CoreID(0); c < NumCores; c++ {
+		if !c.Valid() {
+			t.Fatalf("core %d invalid", c)
+		}
+		tile := c.Tile()
+		cores := tile.Cores()
+		if cores[0] != CoreID(tile)*2 || cores[1] != CoreID(tile)*2+1 {
+			t.Fatalf("tile %d cores = %v", tile, cores)
+		}
+		found := false
+		for _, cc := range cores {
+			if cc == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("core %d not among its tile's cores %v", c, cores)
+		}
+	}
+	if CoreID(-1).Valid() || CoreID(48).Valid() {
+		t.Fatal("out-of-range cores accepted")
+	}
+}
+
+func TestTileCoordRoundTrip(t *testing.T) {
+	for tile := TileID(0); tile < NumTiles; tile++ {
+		c := tile.Coord()
+		if TileAt(c) != tile {
+			t.Fatalf("TileAt(%v) = %d, want %d", c, TileAt(c), tile)
+		}
+	}
+	// Row-major from bottom-left: tile 0 at (0,0), tile 5 at (5,0),
+	// tile 6 at (0,1), tile 23 at (5,3).
+	if (TileID(0).Coord() != mesh.Coord{X: 0, Y: 0}) {
+		t.Fatal("tile 0 coord")
+	}
+	if (TileID(5).Coord() != mesh.Coord{X: 5, Y: 0}) {
+		t.Fatal("tile 5 coord")
+	}
+	if (TileID(6).Coord() != mesh.Coord{X: 0, Y: 1}) {
+		t.Fatal("tile 6 coord")
+	}
+	if (TileID(23).Coord() != mesh.Coord{X: 5, Y: 3}) {
+		t.Fatal("tile 23 coord")
+	}
+}
+
+func TestTileAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TileAt out of range did not panic")
+		}
+	}()
+	TileAt(mesh.Coord{X: 6, Y: 0})
+}
+
+func TestControllersPlacement(t *testing.T) {
+	mcs := Controllers()
+	want := []mesh.Coord{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 0, Y: 2}, {X: 5, Y: 2}}
+	for i, mc := range mcs {
+		if mc.ID != i || mc.Coord != want[i] {
+			t.Fatalf("controller %d = %+v, want coord %v", i, mc, want[i])
+		}
+	}
+}
+
+func TestQuadrantAssignmentMatchesPaperExample(t *testing.T) {
+	// "the lower left quadrant contains cores 0-5 and 12-17 ... accessed
+	// through the memory controller MC0" (Section IV-A).
+	want := map[CoreID]bool{}
+	for c := CoreID(0); c <= 5; c++ {
+		want[c] = true
+	}
+	for c := CoreID(12); c <= 17; c++ {
+		want[c] = true
+	}
+	got := QuadrantCores(0)
+	if len(got) != 12 {
+		t.Fatalf("MC0 serves %d cores, want 12", len(got))
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Fatalf("core %d wrongly assigned to MC0 (got %v)", c, got)
+		}
+	}
+}
+
+func TestEveryControllerServes12Cores(t *testing.T) {
+	total := 0
+	for mc := 0; mc < NumControllers; mc++ {
+		n := len(QuadrantCores(mc))
+		if n != 12 {
+			t.Errorf("MC%d serves %d cores, want 12", mc, n)
+		}
+		total += n
+	}
+	if total != NumCores {
+		t.Fatalf("controllers serve %d cores total", total)
+	}
+}
+
+func TestQuadrantCoresPanicsOnBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuadrantCores(4) did not panic")
+		}
+	}()
+	QuadrantCores(4)
+}
+
+func TestHopsToMCRange(t *testing.T) {
+	// Under the default quadrant layout all distances 0..3 occur and
+	// nothing else (Section IV-A: "covers all the possible distances").
+	counts := map[int]int{}
+	for c := CoreID(0); c < NumCores; c++ {
+		counts[HopsToMC(c)]++
+	}
+	for h := 0; h <= 3; h++ {
+		if counts[h] == 0 {
+			t.Errorf("no cores at %d hops", h)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("hop distances present: %v, want exactly 0..3", counts)
+	}
+	// Each quadrant is a 3x2 tile block: distances 0,1,1,2,2,3 per
+	// quadrant, i.e. per-chip counts 8,16,16,8 cores.
+	if counts[0] != 8 || counts[1] != 16 || counts[2] != 16 || counts[3] != 8 {
+		t.Fatalf("hop histogram %v, want 8/16/16/8", counts)
+	}
+}
+
+func TestCoresWithHops(t *testing.T) {
+	zero := CoresWithHops(0)
+	want := []CoreID{0, 1, 10, 11, 24, 25, 34, 35}
+	if len(zero) != len(want) {
+		t.Fatalf("0-hop cores = %v", zero)
+	}
+	for i, c := range want {
+		if zero[i] != c {
+			t.Fatalf("0-hop cores = %v, want %v", zero, want)
+		}
+	}
+	if len(CoresWithHops(4)) != 0 {
+		t.Fatal("4-hop cores exist under the default layout")
+	}
+}
+
+func TestControllerForPanicsOnInvalidCore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ControllerFor(-1) did not panic")
+		}
+	}()
+	ControllerFor(-1)
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func TestRunCacheBlockedMatchesCSRNumerics(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Generate(sparse.Gen{Name: "cb", Class: sparse.PatternRandom, N: 5000, NNZTarget: 50000, Seed: 18})
+	r, err := m.RunCacheBlocked(a, 1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstCSR(t, a, r.Y, "cacheblocked")
+}
+
+func TestCacheBlockingHelpsScatteredMatrices(t *testing.T) {
+	// Cache blocking needs two things: x larger than the L2 (so plain
+	// CSR misses) and enough per-core reuse of each x entry (nnz/n well
+	// above the core count) for the banded window to pay off. x here is
+	// 640 KB with nnz/n = 50 over 4 cores: ~12 touches per entry per
+	// core.
+	m := NewMachine(scc.Conf0)
+	a := sparse.Generate(sparse.Gen{Name: "sc", Class: sparse.PatternRandom, N: 80000, NNZTarget: 4000000, Seed: 19})
+	plain, err := m.RunSpMV(a, nil, Options{Mapping: scc.DistanceReductionMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := m.RunCacheBlocked(a, 16384, 4) // 128 KB x-window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.MFLOPS <= plain.MFLOPS {
+		t.Fatalf("cache blocking did not help: %.0f vs %.0f MFLOPS", blocked.MFLOPS, plain.MFLOPS)
+	}
+}
+
+func TestCacheBlockingNeutralOrWorseOnLocalMatrices(t *testing.T) {
+	// A band matrix already has a tiny x window; blocking only adds the
+	// repeated row walks.
+	m := NewMachine(scc.Conf0)
+	a := sparse.Generate(sparse.Gen{Name: "lb", Class: sparse.PatternBanded, N: 60000, NNZTarget: 600000, Bandwidth: 64, Seed: 20})
+	plain, err := m.RunSpMV(a, nil, Options{Mapping: scc.DistanceReductionMapping(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := m.RunCacheBlocked(a, 4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.MFLOPS > 1.1*plain.MFLOPS {
+		t.Fatalf("blocking should not help a band matrix: %.0f vs %.0f", blocked.MFLOPS, plain.MFLOPS)
+	}
+}
+
+func TestRunCacheBlockedValidation(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Identity(8)
+	if _, err := m.RunCacheBlocked(a, 0, 4); err == nil {
+		t.Error("bandCols=0 accepted")
+	}
+	if _, err := m.RunCacheBlocked(a, 4, 0); err == nil {
+		t.Error("ues=0 accepted")
+	}
+}

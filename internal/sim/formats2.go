@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+// DIA and HYB timing kernels, completing the Bell & Garland format family
+// for the storage ablation. DIA is the stream-friendliest format (both the
+// diagonal values and the x accesses are unit-stride); HYB pays ELL costs
+// for the row prefix and scattered COO costs (including random y updates)
+// for the tail.
+
+// RunDIA simulates y = A·x over diagonal storage with ues units of
+// execution (distance-reduction mapping, rows split evenly). Padding slots
+// inside stored diagonals cost compute and bandwidth like real entries -
+// DIA's fundamental trade.
+func (m *Machine) RunDIA(d *sparse.DIA, ues int) (*Result, error) {
+	if ues <= 0 || ues > scc.NumCores {
+		return nil, fmt.Errorf("sim: %d UEs outside [1, %d]", ues, scc.NumCores)
+	}
+	if err := m.Domains.Validate(); err != nil {
+		return nil, err
+	}
+	mapping := scc.DistanceReductionMapping(ues)
+
+	const base = uint64(1) << 28
+	align := func(v uint64) uint64 { return (v + 63) &^ 63 }
+	slots := uint64(len(d.Val))
+	layVal := base
+	layX := align(layVal + 8*slots)
+	layY := align(layX + 8*uint64(d.Cols))
+
+	res := &Result{Matrix: d.Name, UEs: ues, PerCore: make([]CoreResult, ues), Y: make([]float64, d.Rows)}
+	x := make([]float64, d.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	for rank := 0; rank < ues; rank++ {
+		core := mapping[rank]
+		cfg := m.Domains.ConfigFor(core)
+		lo, hi := d.Rows*rank/ues, d.Rows*(rank+1)/ues
+		h := m.newHierarchy()
+		memLat := scc.MemoryLatencyCoreCycles(scc.HopsToMC(core), cfg)
+
+		var compute, stall float64
+		var slotsDone int
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				h.ResetStats()
+			}
+			compute, stall, slotsDone = 0, 0, 0
+			var valS, xS, yS stream
+			probe := func(addr uint64, write bool) {
+				switch h.Access(addr, write) {
+				case cache.LevelL2:
+					stall += m.Params.L2HitCycles
+				case cache.LevelMemory:
+					stall += memLat
+				}
+			}
+			for i := lo; i < hi; i++ {
+				res.Y[i] = 0
+			}
+			// Diagonal-major traversal over the owned row range: the
+			// natural DIA loop nest (one pass per diagonal).
+			for p, off := range d.Offsets {
+				compute += m.Params.RowOverheadCycles // per-diagonal loop setup
+				baseIdx := p * d.Rows
+				rLo, rHi := lo, hi
+				if off < 0 && int(-off) > rLo {
+					rLo = int(-off)
+				}
+				if over := d.Rows + int(off) - d.Cols; over > 0 && d.Rows-over < rHi {
+					rHi = d.Rows - over
+				}
+				for i := rLo; i < rHi; i++ {
+					if addr := layVal + 8*uint64(baseIdx+i); valS.crossing(addr) {
+						probe(addr, false)
+					}
+					if addr := layX + 8*uint64(i+int(off)); xS.crossing(addr) {
+						probe(addr, false)
+					}
+					if addr := layY + 8*uint64(i); yS.crossing(addr) {
+						probe(addr, true)
+					}
+					res.Y[i] += d.Val[baseIdx+i] * x[i+int(off)]
+					compute += m.Params.NNZComputeCycles
+					slotsDone++
+				}
+			}
+		}
+		cyc := cfg.CoreCycleSec()
+		res.PerCore[rank] = CoreResult{
+			Rank: rank, Core: core, Hops: scc.HopsToMC(core),
+			Rows: hi - lo, NNZ: slotsDone,
+			ComputeSec: compute * cyc, MemStallSec: stall * cyc,
+			Slowdown: 1, TimeSec: (compute + stall) * cyc,
+			Cache: h.Stats(),
+		}
+	}
+	m.applyContention(res)
+	m.addBarrierCost(res)
+	res.TimeSec = res.MaxCoreTime()
+	if res.TimeSec > 0 {
+		// Useful flops: only true nonzeros count.
+		res.GFLOPS = 2 * float64(d.NNZ()) / res.TimeSec / 1e9
+		res.MFLOPS = res.GFLOPS * 1000
+	}
+	res.PowerWatts = scc.FullSystemPower(m.Domains)
+	res.MFLOPSPerWatt = scc.MFLOPSPerWatt(res.GFLOPS, res.PowerWatts)
+	return res, nil
+}
+
+// RunHYB simulates y = A·x over hybrid ELL+COO storage: the ELL slab via
+// the ELL kernel's access pattern and the COO tail with scattered row
+// updates (random y traffic - the price of the overflow path).
+func (m *Machine) RunHYB(hyb *sparse.HYB, ues int) (*Result, error) {
+	if ues <= 0 || ues > scc.NumCores {
+		return nil, fmt.Errorf("sim: %d UEs outside [1, %d]", ues, scc.NumCores)
+	}
+	if err := m.Domains.Validate(); err != nil {
+		return nil, err
+	}
+	mapping := scc.DistanceReductionMapping(ues)
+	e := hyb.ELL
+
+	const base = uint64(1) << 28
+	align := func(v uint64) uint64 { return (v + 63) &^ 63 }
+	slots := uint64(e.Rows) * uint64(e.K)
+	layIdx := base
+	layVal := align(layIdx + 4*slots)
+	layX := align(layVal + 8*slots)
+	layY := align(layX + 8*uint64(e.Cols))
+	tailN := uint64(hyb.Tail.NNZ())
+	layTI := align(layY + 8*uint64(e.Rows))
+	layTJ := align(layTI + 4*tailN)
+	layTV := align(layTJ + 4*tailN)
+
+	// Pre-split the tail by owning row range.
+	tailLo := make([]int, ues+1)
+	{
+		// Tail triplets are appended row-major, so a binary search per
+		// boundary suffices.
+		b := 0
+		for u := 1; u <= ues; u++ {
+			bound := int32(e.Rows * u / ues)
+			for b < hyb.Tail.NNZ() && hyb.Tail.I[b] < bound {
+				b++
+			}
+			tailLo[u] = b
+		}
+	}
+
+	res := &Result{Matrix: hyb.Name, UEs: ues, PerCore: make([]CoreResult, ues), Y: make([]float64, e.Rows)}
+	x := make([]float64, e.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	for rank := 0; rank < ues; rank++ {
+		core := mapping[rank]
+		cfg := m.Domains.ConfigFor(core)
+		lo, hi := e.Rows*rank/ues, e.Rows*(rank+1)/ues
+		h := m.newHierarchy()
+		memLat := scc.MemoryLatencyCoreCycles(scc.HopsToMC(core), cfg)
+
+		var compute, stall float64
+		var done int
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				h.ResetStats()
+			}
+			compute, stall, done = 0, 0, 0
+			var idxS, valS, yS, tiS, tjS, tvS stream
+			probe := func(addr uint64, write bool) {
+				switch h.Access(addr, write) {
+				case cache.LevelL2:
+					stall += m.Params.L2HitCycles
+				case cache.LevelMemory:
+					stall += memLat
+				}
+			}
+			for i := lo; i < hi; i++ {
+				res.Y[i] = 0
+			}
+			// ELL slab.
+			for i := lo; i < hi; i++ {
+				compute += m.Params.RowOverheadCycles
+				rowBase := i * e.K
+				var t float64
+				for s := 0; s < e.K; s++ {
+					c := e.Index[rowBase+s]
+					if c < 0 {
+						break
+					}
+					if addr := layIdx + 4*uint64(rowBase+s); idxS.crossing(addr) {
+						probe(addr, false)
+					}
+					if addr := layVal + 8*uint64(rowBase+s); valS.crossing(addr) {
+						probe(addr, false)
+					}
+					probe(layX+8*uint64(c), false)
+					t += e.Val[rowBase+s] * x[c]
+					compute += m.Params.NNZComputeCycles
+					done++
+				}
+				res.Y[i] += t
+				if addr := layY + 8*uint64(i); yS.crossing(addr) {
+					probe(addr, true)
+				}
+			}
+			// COO tail: streams over I/J/V plus scattered x reads and
+			// y read-modify-writes.
+			for p := tailLo[rank]; p < tailLo[rank+1]; p++ {
+				if addr := layTI + 4*uint64(p); tiS.crossing(addr) {
+					probe(addr, false)
+				}
+				if addr := layTJ + 4*uint64(p); tjS.crossing(addr) {
+					probe(addr, false)
+				}
+				if addr := layTV + 8*uint64(p); tvS.crossing(addr) {
+					probe(addr, false)
+				}
+				probe(layX+8*uint64(hyb.Tail.J[p]), false)
+				probe(layY+8*uint64(hyb.Tail.I[p]), true)
+				res.Y[hyb.Tail.I[p]] += hyb.Tail.V[p] * x[hyb.Tail.J[p]]
+				compute += m.Params.NNZComputeCycles
+				done++
+			}
+		}
+		cyc := cfg.CoreCycleSec()
+		res.PerCore[rank] = CoreResult{
+			Rank: rank, Core: core, Hops: scc.HopsToMC(core),
+			Rows: hi - lo, NNZ: done,
+			ComputeSec: compute * cyc, MemStallSec: stall * cyc,
+			Slowdown: 1, TimeSec: (compute + stall) * cyc,
+			Cache: h.Stats(),
+		}
+	}
+	m.applyContention(res)
+	m.addBarrierCost(res)
+	res.TimeSec = res.MaxCoreTime()
+	if res.TimeSec > 0 {
+		res.GFLOPS = 2 * float64(hyb.NNZ()) / res.TimeSec / 1e9
+		res.MFLOPS = res.GFLOPS * 1000
+	}
+	res.PowerWatts = scc.FullSystemPower(m.Domains)
+	res.MFLOPSPerWatt = scc.MFLOPSPerWatt(res.GFLOPS, res.PowerWatts)
+	return res, nil
+}

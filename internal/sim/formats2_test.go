@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func checkAgainstCSR(t *testing.T, a *sparse.CSR, got []float64, ctx string) {
+	t.Helper()
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: y[%d] = %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunDIAMatchesCSR(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Generate(sparse.Gen{Name: "b", Class: sparse.PatternBanded, N: 3000, NNZTarget: 24000, Bandwidth: 16, Seed: 12})
+	d, err := sparse.ToDIA(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ues := range []int{1, 8} {
+		r, err := m.RunDIA(d, ues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstCSR(t, a, r.Y, "dia")
+		if r.MFLOPS <= 0 {
+			t.Fatal("no throughput")
+		}
+	}
+}
+
+func TestRunDIALaplacianFastAmongFormats(t *testing.T) {
+	// On a pure band, DIA (all streams, no index loads) should beat CSR.
+	a := sparse.Laplacian2D(200) // 40000 rows, 5 diagonals
+	d, err := sparse.ToDIA(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(scc.Conf0)
+	rd, err := m.RunDIA(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := m.RunSpMV(a, nil, Options{Mapping: scc.DistanceReductionMapping(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.MFLOPS <= rc.MFLOPS {
+		t.Fatalf("DIA %.0f MFLOPS not above CSR %.0f on a pure band", rd.MFLOPS, rc.MFLOPS)
+	}
+}
+
+func TestRunHYBMatchesCSR(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	for _, class := range []sparse.PatternClass{sparse.PatternPowerLaw, sparse.PatternStencil2D} {
+		a := sparse.Generate(sparse.Gen{Name: string(class), Class: class, N: 4000, NNZTarget: 40000, Seed: 13})
+		hyb, err := sparse.ToHYB(a, 0.66)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ues := range []int{1, 6} {
+			r, err := m.RunHYB(hyb, ues)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstCSR(t, a, r.Y, string(class))
+		}
+	}
+}
+
+func TestFormat2Validation(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Laplacian2D(8)
+	d, _ := sparse.ToDIA(a, 5)
+	hyb, _ := sparse.ToHYB(a, 0.66)
+	if _, err := m.RunDIA(d, 0); err == nil {
+		t.Error("DIA ues=0 accepted")
+	}
+	if _, err := m.RunHYB(hyb, 49); err == nil {
+		t.Error("HYB ues=49 accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func TestRunELLMatchesCSRNumerics(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Generate(sparse.Gen{Name: "e", Class: sparse.PatternStencil2D, N: 4000, NNZTarget: 40000, Seed: 9})
+	e, err := sparse.ToELL(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.RunELL(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	a.MulVec(want, x)
+	for i := range want {
+		if math.Abs(r.Y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("ELL y[%d] = %v, want %v", i, r.Y[i], want[i])
+		}
+	}
+	if r.MFLOPS <= 0 {
+		t.Fatal("no throughput reported")
+	}
+}
+
+func TestRunBCSRMatchesCSRNumerics(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Generate(sparse.Gen{Name: "b", Class: sparse.PatternBlock, N: 3000, NNZTarget: 60000, BlockSize: 32, Seed: 10})
+	b := sparse.ToBCSR(a, 2, 2)
+	r, err := m.RunBCSR(b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	a.MulVec(want, x)
+	for i := range want {
+		if math.Abs(r.Y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("BCSR y[%d] = %v, want %v", i, r.Y[i], want[i])
+		}
+	}
+}
+
+func TestFormatKernelsValidateUEs(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := sparse.Identity(16)
+	e, _ := sparse.ToELL(a, 10)
+	if _, err := m.RunELL(e, 0); err == nil {
+		t.Error("ELL ues=0 accepted")
+	}
+	if _, err := m.RunELL(e, 49); err == nil {
+		t.Error("ELL ues=49 accepted")
+	}
+	b := sparse.ToBCSR(a, 2, 2)
+	if _, err := m.RunBCSR(b, 0); err == nil {
+		t.Error("BCSR ues=0 accepted")
+	}
+}
+
+func TestELLPaddingCostsTime(t *testing.T) {
+	// One long row forces heavy padding; ELL throughput per useful flop
+	// must trail CSR's on the same matrix.
+	m := NewMachine(scc.Conf0)
+	coo := sparse.NewCOO(2000, 2000, 0)
+	coo.Name = "padded"
+	for i := 0; i < 2000; i++ {
+		coo.Append(i, i, 1)
+	}
+	for j := 0; j < 64; j++ { // row 0 has 65 entries, all others 1
+		if j != 0 {
+			coo.Append(0, j, 1)
+		}
+	}
+	a := coo.ToCSR()
+	e, err := sparse.ToELL(a, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCSR, err := m.RunSpMV(a, nil, Options{Mapping: scc.Mapping{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rELL, err := m.RunELL(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same useful flops; ELL must take longer overall.
+	if rELL.TimeSec <= rCSR.TimeSec {
+		t.Fatalf("padded ELL time %v not above CSR %v", rELL.TimeSec, rCSR.TimeSec)
+	}
+}

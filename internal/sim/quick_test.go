@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+// Randomised invariant checks of the timing model: these must hold for any
+// matrix shape, not just the fixtures.
+
+func quickMatrix(seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	classes := []sparse.PatternClass{
+		sparse.PatternStencil2D, sparse.PatternBanded,
+		sparse.PatternRandom, sparse.PatternPowerLaw,
+	}
+	n := 500 + rng.Intn(4000)
+	return sparse.Generate(sparse.Gen{
+		Name:      "q",
+		Class:     classes[rng.Intn(len(classes))],
+		N:         n,
+		NNZTarget: n * (2 + rng.Intn(12)),
+		Seed:      seed,
+	})
+}
+
+// Property: conf1 (faster everything) is never slower than conf0.
+func TestQuickConf1NeverSlower(t *testing.T) {
+	m0 := NewMachine(scc.Conf0)
+	m1 := NewMachine(scc.Conf1)
+	f := func(seed int64, rawUEs uint8) bool {
+		a := quickMatrix(seed)
+		ues := int(rawUEs)%16 + 1
+		opts := Options{Mapping: scc.DistanceReductionMapping(ues)}
+		r0, err := m0.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		r1, err := m1.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		return r1.TimeSec <= r0.TimeSec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: disabling the L2 never speeds anything up.
+func TestQuickL2OffNeverFaster(t *testing.T) {
+	on := NewMachine(scc.Conf0)
+	off := NewMachine(scc.Conf0)
+	off.WithL2 = false
+	f := func(seed int64, rawUEs uint8) bool {
+		a := quickMatrix(seed)
+		ues := int(rawUEs)%12 + 1
+		opts := Options{Mapping: scc.DistanceReductionMapping(ues)}
+		rOn, err := on.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		rOff, err := off.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		return rOff.TimeSec >= rOn.TimeSec*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the no-x-miss variant's uncontended stall time never exceeds
+// the standard kernel's (removing irregular accesses cannot add stalls).
+func TestQuickNoXMissNeverMoreStalls(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	f := func(seed int64) bool {
+		a := quickMatrix(seed)
+		opts := Options{Mapping: scc.Mapping{0}}
+		std, err := m.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		opts.Variant = KernelNoXMiss
+		nox, err := m.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		return nox.PerCore[0].MemStallSec <= std.PerCore[0].MemStallSec*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulator is deterministic across repeated runs and
+// produces identical numerics to the reference kernel.
+func TestQuickDeterministicAndCorrect(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	f := func(seed int64, rawUEs uint8) bool {
+		a := quickMatrix(seed)
+		ues := int(rawUEs)%48 + 1
+		opts := Options{UEs: ues}
+		r1, err := m.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		r2, err := m.RunSpMV(a, nil, Options{UEs: ues})
+		if err != nil {
+			return false
+		}
+		if r1.TimeSec != r2.TimeSec {
+			return false
+		}
+		want := make([]float64, a.Rows)
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1
+		}
+		a.MulVec(want, x)
+		for i := range want {
+			d := r1.Y[i] - want[i]
+			if d < -1e-9 || d > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-core nnz always sums to the matrix total for every
+// partitioning scheme the simulator accepts.
+func TestQuickNNZConservation(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	f := func(seed int64, rawUEs uint8) bool {
+		a := quickMatrix(seed)
+		ues := int(rawUEs)%48 + 1
+		r, err := m.RunSpMV(a, nil, Options{UEs: ues})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range r.PerCore {
+			total += c.NNZ
+		}
+		return total == a.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefetching never increases demand-miss-driven stall time on a
+// single core (extra traffic, never extra demand stalls in this model).
+func TestQuickPrefetchNeverMoreStallsSingleCore(t *testing.T) {
+	plain := NewMachine(scc.Conf0)
+	pf := NewMachine(scc.Conf0)
+	pf.Prefetch = true
+	f := func(seed int64) bool {
+		a := quickMatrix(seed)
+		opts := Options{Mapping: scc.Mapping{0}}
+		rp, err := plain.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		rf, err := pf.RunSpMV(a, nil, opts)
+		if err != nil {
+			return false
+		}
+		// Prefetch can pollute the small L1/L2 slightly; allow 5%.
+		return rf.PerCore[0].MemStallSec <= rp.PerCore[0].MemStallSec*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

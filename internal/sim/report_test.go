@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scc"
+)
+
+func TestWriteReport(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	r := mustRun(t, m, fixSmall, Options{UEs: 4})
+	var b strings.Builder
+	if err := r.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{"matrix", "throughput", "MFLOPS/W", "rank", "slowdown"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("report missing %q:\n%s", needle, out)
+		}
+	}
+	// One line per core plus headers.
+	if lines := strings.Count(out, "\n"); lines < 4+2+4 {
+		t.Fatalf("report too short (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	r := mustRun(t, m, fixSmall, Options{UEs: 2})
+	s := r.Summary()
+	if !strings.Contains(s, "2 UEs") || !strings.Contains(s, "standard kernel") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestAggregateCacheStats(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	r := mustRun(t, m, fixSmall, Options{UEs: 3})
+	agg := r.AggregateCacheStats()
+	if agg.Accesses == 0 {
+		t.Fatal("no accesses aggregated")
+	}
+	if agg.L1Hits+agg.L2Hits+agg.MemAccesses != agg.Accesses {
+		t.Fatal("aggregate levels do not partition accesses")
+	}
+	var manual uint64
+	for _, c := range r.PerCore {
+		manual += c.Cache.Accesses
+	}
+	if agg.Accesses != manual {
+		t.Fatal("aggregation mismatch")
+	}
+}

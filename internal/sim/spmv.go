@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/partition"
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+// RunSpMV simulates one parallel y = A·x on the machine and returns timing,
+// cache and power detail. x is the multiplicand; pass nil for an all-ones
+// vector. The simulation is deterministic.
+func (m *Machine) RunSpMV(a *sparse.CSR, x []float64, opts Options) (*Result, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if err := m.Domains.Validate(); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		x = make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1
+		}
+	}
+	if len(x) != a.Cols {
+		return nil, fmt.Errorf("sim: len(x)=%d, matrix has %d columns", len(x), a.Cols)
+	}
+
+	parts, err := partition.Split(opts.Scheme, a, opts.UEs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Matrix:  a.Name,
+		Variant: opts.Variant,
+		UEs:     opts.UEs,
+		PerCore: make([]CoreResult, opts.UEs),
+		Y:       make([]float64, a.Rows),
+	}
+	lay := layoutFor(a)
+
+	for rank := 0; rank < opts.UEs; rank++ {
+		core := opts.Mapping[rank]
+		cfg := m.Domains.ConfigFor(core)
+		cr := m.simCore(a, x, res.Y, parts[rank], core, cfg, opts, lay)
+		cr.Rank = rank
+		res.PerCore[rank] = cr
+	}
+
+	m.applyContention(res)
+	m.addBarrierCost(res)
+
+	res.TimeSec = res.MaxCoreTime()
+	if res.TimeSec > 0 {
+		flops := 2 * float64(a.NNZ())
+		res.GFLOPS = flops / res.TimeSec / 1e9
+		res.MFLOPS = res.GFLOPS * 1000
+	}
+	res.PowerWatts = scc.FullSystemPower(m.Domains)
+	res.MFLOPSPerWatt = scc.MFLOPSPerWatt(res.GFLOPS, res.PowerWatts)
+	return res, nil
+}
+
+// stream batches a unit-stride access sequence: the cache is probed only
+// when the stream crosses into a new line; the within-line accesses are
+// L1 hits whose cost is folded into NNZComputeCycles.
+type stream struct {
+	lastLine uint64
+	valid    bool
+}
+
+func (s *stream) crossing(addr uint64) bool {
+	line := addr >> 5 // 32-byte lines
+	if s.valid && line == s.lastLine {
+		return false
+	}
+	s.lastLine = line
+	s.valid = true
+	return true
+}
+
+// simCore executes one UE's row list on a private cold cache hierarchy and
+// returns its uncontended timing. It also computes the UE's slice of y.
+func (m *Machine) simCore(a *sparse.CSR, x, y []float64, rows []int32,
+	core scc.CoreID, cfg scc.ClockConfig, opts Options, lay layout) CoreResult {
+
+	h := m.newHierarchy()
+	hops := scc.HopsToMC(core)
+	memLat := scc.MemoryLatencyCoreCycles(hops, cfg)
+
+	passes := 2 // warm-up pass + timed steady-state pass
+	if opts.ColdCache {
+		passes = 1
+	}
+	var compute, stall float64
+	var nnz int
+	for pass := 0; pass < passes; pass++ {
+		if pass == passes-1 {
+			h.ResetStats()
+		}
+		compute, stall, nnz = m.runPass(a, x, y, rows, h, memLat, opts, lay)
+	}
+
+	cyc := cfg.CoreCycleSec()
+	return CoreResult{
+		Core:        core,
+		Hops:        hops,
+		Rows:        len(rows),
+		NNZ:         nnz,
+		ComputeSec:  compute * cyc,
+		MemStallSec: stall * cyc,
+		Slowdown:    1,
+		TimeSec:     (compute + stall) * cyc,
+		Cache:       h.Stats(),
+	}
+}
+
+// runPass walks the rows once, returning (compute cycles, stall cycles, nnz).
+func (m *Machine) runPass(a *sparse.CSR, x, y []float64, rows []int32,
+	h *cache.Hierarchy, memLat float64, opts Options, lay layout) (compute, stall float64, nnz int) {
+
+	noX := opts.Variant == KernelNoXMiss
+	var ptrS, idxS, valS, yS stream
+
+	probe := func(addr uint64, write bool) {
+		switch h.Access(addr, write) {
+		case cache.LevelL1:
+			// already priced into NNZComputeCycles
+		case cache.LevelL2:
+			stall += m.Params.L2HitCycles
+		case cache.LevelMemory:
+			stall += memLat
+		}
+	}
+
+	x0 := 0.0
+	if len(x) > 0 {
+		x0 = x[0]
+	}
+	for _, ri := range rows {
+		i := int(ri)
+		compute += m.Params.RowOverheadCycles
+		if addr := lay.ptr + 4*uint64(i); ptrS.crossing(addr) {
+			probe(addr, false)
+		}
+		var t float64
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			if addr := lay.index + 4*uint64(k); idxS.crossing(addr) {
+				probe(addr, false)
+			}
+			if addr := lay.val + 8*uint64(k); valS.crossing(addr) {
+				probe(addr, false)
+			}
+			if noX {
+				probe(lay.x, false)
+				t += a.Val[k] * x0
+			} else {
+				probe(lay.x+8*uint64(a.Index[k]), false)
+				t += a.Val[k] * x[a.Index[k]]
+			}
+			compute += m.Params.NNZComputeCycles
+			nnz++
+		}
+		y[i] = t
+		if addr := lay.y + 8*uint64(i); yS.crossing(addr) {
+			probe(addr, true)
+		}
+	}
+	return compute, stall, nnz
+}
+
+// addBarrierCost charges every core the closing RCCE barrier: UEs mesh
+// round trips at the current mesh clock.
+func (m *Machine) addBarrierCost(res *Result) {
+	barrier := float64(res.UEs) * m.Params.BarrierMeshCyclesPerUE /
+		(float64(m.Domains.MeshMHz) * 1e6)
+	for i := range res.PerCore {
+		res.PerCore[i].TimeSec += barrier
+	}
+}
+
+// applyContention groups cores by their memory controller, computes each
+// controller's saturation slowdown from the cores' traffic, and stretches
+// every core's memory-stall time accordingly.
+func (m *Machine) applyContention(res *Result) {
+	byMC := map[int][]int{} // controller -> indices into PerCore
+	for i := range res.PerCore {
+		mc := scc.ControllerFor(res.PerCore[i].Core).ID
+		byMC[mc] = append(byMC[mc], i)
+	}
+	for mcID, idxs := range byMC {
+		ctl := mem.Controller{ID: mcID, MemMHz: m.Domains.MemMHz}
+		demands := make([]mem.CoreDemand, 0, len(idxs))
+		for _, i := range idxs {
+			c := &res.PerCore[i]
+			demands = append(demands, mem.CoreDemand{
+				ReadBytes:  float64(c.Cache.MemReadBytes(scc.CacheLineBytes)),
+				WriteBytes: float64(c.Cache.MemWriteBytes(scc.CacheLineBytes)),
+				TimeSec:    c.TimeSec,
+			})
+		}
+		s := mem.Slowdown(ctl, demands)
+		for _, i := range idxs {
+			c := &res.PerCore[i]
+			c.Slowdown = s
+			c.TimeSec = c.ComputeSec + s*c.MemStallSec
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+// Shared fixtures; moderate sizes keep the suite fast while preserving the
+// regimes (ws >> L2, ws/core < L2, irregular, short rows).
+var (
+	fixBig   = sparse.Generate(sparse.Gen{Name: "big", Class: sparse.PatternStencil3D, N: 30000, NNZTarget: 1200000, Seed: 1})
+	fixSmall = sparse.Generate(sparse.Gen{Name: "small", Class: sparse.PatternStencil2D, N: 8000, NNZTarget: 200000, Seed: 2})
+	fixIrr   = sparse.Generate(sparse.Gen{Name: "irr", Class: sparse.PatternRandom, N: 20000, NNZTarget: 800000, Seed: 3})
+)
+
+func mustRun(t *testing.T, m *Machine, a *sparse.CSR, o Options) *Result {
+	t.Helper()
+	r, err := m.RunSpMV(a, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunSpMVComputesCorrectProduct(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a := fixSmall
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.1)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for _, ues := range []int{1, 7, 48} {
+		r, err := m.RunSpMV(a, x, Options{UEs: ues})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(r.Y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("ues=%d: y[%d] = %v, want %v", ues, i, r.Y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunSpMVDeterministic(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	a, b := mustRun(t, m, fixSmall, Options{UEs: 8}), mustRun(t, m, fixSmall, Options{UEs: 8})
+	if a.TimeSec != b.TimeSec || a.GFLOPS != b.GFLOPS {
+		t.Fatalf("non-deterministic: %v vs %v", a.TimeSec, b.TimeSec)
+	}
+}
+
+func TestRunSpMVOptionValidation(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	if _, err := m.RunSpMV(fixSmall, nil, Options{}); err == nil {
+		t.Error("no UEs accepted")
+	}
+	if _, err := m.RunSpMV(fixSmall, nil, Options{Mapping: scc.Mapping{0, 0}}); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+	if _, err := m.RunSpMV(fixSmall, nil, Options{UEs: 1, Variant: Variant(9)}); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if _, err := m.RunSpMV(fixSmall, make([]float64, 3), Options{UEs: 1}); err == nil {
+		t.Error("short x accepted")
+	}
+	bad := NewMachine(scc.Conf0)
+	bad.Domains.TileMHz[0] = 1
+	if _, err := bad.RunSpMV(fixSmall, nil, Options{UEs: 1}); err == nil {
+		t.Error("invalid domains accepted")
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	r := mustRun(t, m, fixSmall, Options{UEs: 4})
+	// GFLOPS must equal 2*nnz / time exactly.
+	want := 2 * float64(fixSmall.NNZ()) / r.TimeSec / 1e9
+	if math.Abs(r.GFLOPS-want) > 1e-12 {
+		t.Fatalf("GFLOPS = %v, want %v", r.GFLOPS, want)
+	}
+	if math.Abs(r.MFLOPS-1000*r.GFLOPS) > 1e-9 {
+		t.Fatal("MFLOPS inconsistent with GFLOPS")
+	}
+	totalNNZ := 0
+	for _, c := range r.PerCore {
+		totalNNZ += c.NNZ
+	}
+	if totalNNZ != fixSmall.NNZ() {
+		t.Fatalf("per-core nnz sums to %d, want %d", totalNNZ, fixSmall.NNZ())
+	}
+}
+
+func TestTimeIsMaxOverCores(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	r := mustRun(t, m, fixBig, Options{UEs: 6})
+	if r.TimeSec != r.MaxCoreTime() {
+		t.Fatalf("TimeSec %v != max core time %v", r.TimeSec, r.MaxCoreTime())
+	}
+	for _, c := range r.PerCore {
+		if c.TimeSec <= 0 || c.TimeSec > r.TimeSec {
+			t.Fatalf("core %d time %v outside (0, %v]", c.Core, c.TimeSec, r.TimeSec)
+		}
+		if c.Slowdown < 1 {
+			t.Fatalf("core %d slowdown %v < 1", c.Core, c.Slowdown)
+		}
+	}
+}
+
+// --- Reproduction shape tests (the paper's qualitative claims) ---
+
+// Figure 3: more hops to the memory controller degrades single-core SpMV,
+// and the 3-hop degradation lands near the paper's ~12%.
+func TestHopsDegradeSingleCore(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	var mflops [4]float64
+	for h := 0; h < 4; h++ {
+		core := scc.CoresWithHops(h)[0]
+		r := mustRun(t, m, fixBig, Options{Mapping: scc.Mapping{core}})
+		mflops[h] = r.MFLOPS
+	}
+	for h := 1; h < 4; h++ {
+		if mflops[h] >= mflops[h-1] {
+			t.Fatalf("performance not decreasing with hops: %v", mflops)
+		}
+	}
+	deg := 1 - mflops[3]/mflops[0]
+	if deg < 0.05 || deg > 0.25 {
+		t.Fatalf("3-hop degradation = %.1f%%, want near the paper's ~12%%", 100*deg)
+	}
+}
+
+// Figure 5: the distance-reduction mapping beats the standard mapping at
+// intermediate core counts and ties at 1-2 cores.
+func TestDistanceReductionMappingWins(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	for _, n := range []int{8, 16, 24} {
+		std := mustRun(t, m, fixBig, Options{Mapping: scc.StandardMapping(n)})
+		dr := mustRun(t, m, fixBig, Options{Mapping: scc.DistanceReductionMapping(n)})
+		sp := dr.MFLOPS / std.MFLOPS
+		if sp < 1.02 {
+			t.Errorf("n=%d: distance-reduction speedup %.3f, want > 1.02", n, sp)
+		}
+		if sp > 1.5 {
+			t.Errorf("n=%d: speedup %.3f implausibly high", n, sp)
+		}
+	}
+	// At 1 core both mappings pick core 0: identical results.
+	std1 := mustRun(t, m, fixBig, Options{Mapping: scc.StandardMapping(1)})
+	dr1 := mustRun(t, m, fixBig, Options{Mapping: scc.DistanceReductionMapping(1)})
+	if math.Abs(std1.MFLOPS-dr1.MFLOPS) > 1e-9 {
+		t.Error("mappings differ at 1 core; paper says they coincide")
+	}
+}
+
+// Figure 6: with warm caches and many cores, a matrix whose per-core
+// working set fits L2 outruns one that does not.
+func TestWorkingSetBoost(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	// fixSmall ws ~2.9 MB: at 24 cores ~124 KB/core -> fits 256 KB L2.
+	// fixBig ws ~14 MB: at 24 cores ~600 KB/core -> capacity misses.
+	small := mustRun(t, m, fixSmall, Options{Mapping: scc.DistanceReductionMapping(24)})
+	big := mustRun(t, m, fixBig, Options{Mapping: scc.DistanceReductionMapping(24)})
+	if small.MFLOPS < 1.3*big.MFLOPS {
+		t.Fatalf("L2-resident matrix %.0f MFLOPS not clearly above streaming %.0f",
+			small.MFLOPS, big.MFLOPS)
+	}
+	// At 1 core neither fits: the gap must be much smaller.
+	s1 := mustRun(t, m, fixSmall, Options{Mapping: scc.Mapping{0}})
+	b1 := mustRun(t, m, fixBig, Options{Mapping: scc.Mapping{0}})
+	if s1.MFLOPS > 1.3*b1.MFLOPS {
+		t.Fatalf("single-core gap %.2f unexpectedly large", s1.MFLOPS/b1.MFLOPS)
+	}
+}
+
+// Figure 7: disabling the L2 degrades performance, more at high core counts
+// (where L2 residency was paying off).
+func TestL2DisabledDegrades(t *testing.T) {
+	on := NewMachine(scc.Conf0)
+	off := NewMachine(scc.Conf0)
+	off.WithL2 = false
+	for _, a := range []*sparse.CSR{fixBig, fixSmall} {
+		rOn := mustRun(t, on, a, Options{Mapping: scc.DistanceReductionMapping(24)})
+		rOff := mustRun(t, off, a, Options{Mapping: scc.DistanceReductionMapping(24)})
+		if rOff.MFLOPS >= rOn.MFLOPS {
+			t.Fatalf("%s: disabling L2 did not hurt (%.0f vs %.0f)", a.Name, rOff.MFLOPS, rOn.MFLOPS)
+		}
+	}
+	// The degradation is worse for the L2-resident matrix.
+	degOf := func(a *sparse.CSR) float64 {
+		rOn := mustRun(t, on, a, Options{Mapping: scc.DistanceReductionMapping(24)})
+		rOff := mustRun(t, off, a, Options{Mapping: scc.DistanceReductionMapping(24)})
+		return 1 - rOff.MFLOPS/rOn.MFLOPS
+	}
+	if degOf(fixSmall) <= degOf(fixBig) {
+		t.Fatal("L2-resident matrix should suffer more from disabling L2")
+	}
+}
+
+// Figure 8: the no-x-miss variant speeds up irregular matrices far more
+// than local ones.
+func TestNoXMissIsolatesIrregularity(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	speedup := func(a *sparse.CSR) float64 {
+		std := mustRun(t, m, a, Options{Mapping: scc.DistanceReductionMapping(24)})
+		nox := mustRun(t, m, a, Options{Mapping: scc.DistanceReductionMapping(24), Variant: KernelNoXMiss})
+		return nox.MFLOPS / std.MFLOPS
+	}
+	spIrr, spLocal := speedup(fixIrr), speedup(fixSmall)
+	if spIrr < 1.5 {
+		t.Fatalf("irregular no-x speedup %.2f, want > 1.5 (paper sees > 2 for the worst)", spIrr)
+	}
+	if spLocal > spIrr {
+		t.Fatalf("local matrix speedup %.2f exceeds irregular %.2f", spLocal, spIrr)
+	}
+	if spLocal < 0.99 {
+		t.Fatalf("no-x variant slowed a local matrix: %.2f", spLocal)
+	}
+}
+
+// Figure 9: conf1 > conf2 > conf0 in performance; conf1's speedup is in the
+// paper's ~1.45 neighbourhood at scale.
+func TestClockConfigurations(t *testing.T) {
+	run := func(cfg scc.ClockConfig) float64 {
+		m := NewMachine(cfg)
+		return mustRun(t, m, fixBig, Options{Mapping: scc.DistanceReductionMapping(48)}).MFLOPS
+	}
+	p0, p1, p2 := run(scc.Conf0), run(scc.Conf1), run(scc.Conf2)
+	if !(p1 > p2 && p2 > p0) {
+		t.Fatalf("ordering broken: conf0=%.0f conf1=%.0f conf2=%.0f", p0, p1, p2)
+	}
+	if sp := p1 / p0; sp < 1.3 || sp > 1.6 {
+		t.Fatalf("conf1 speedup %.2f, want near the paper's 1.45", sp)
+	}
+	if sp := p1 / p2; sp < 1.05 {
+		t.Fatalf("conf1/conf2 = %.2f; memory clock should matter", sp)
+	}
+}
+
+// Power efficiency: conf1's MFLOPS/W should beat conf0's (the paper's
+// Figure 9(b)), because its ~45% speedup outruns its ~30% power increase.
+func TestPowerEfficiencyConf1Best(t *testing.T) {
+	eff := func(cfg scc.ClockConfig) float64 {
+		m := NewMachine(cfg)
+		return mustRun(t, m, fixBig, Options{Mapping: scc.DistanceReductionMapping(48)}).MFLOPSPerWatt
+	}
+	if eff(scc.Conf1) <= eff(scc.Conf0) {
+		t.Fatal("conf1 should be the most power-efficient configuration")
+	}
+}
+
+func TestRowOverheadPenalisesShortRows(t *testing.T) {
+	// Two matrices with the same nnz, one with 4 nnz/row, one with 64:
+	// the short-row matrix must be slower per nonzero (Section IV-B,
+	// matrices 24/25).
+	shortRows := sparse.Generate(sparse.Gen{Name: "short", Class: sparse.PatternBanded, N: 50000, NNZTarget: 200000, Bandwidth: 64, Seed: 4})
+	longRows := sparse.Generate(sparse.Gen{Name: "long", Class: sparse.PatternBanded, N: 3200, NNZTarget: 200000, Bandwidth: 64, Seed: 5})
+	m := NewMachine(scc.Conf0)
+	rs := mustRun(t, m, shortRows, Options{Mapping: scc.Mapping{0}})
+	rl := mustRun(t, m, longRows, Options{Mapping: scc.Mapping{0}})
+	if rs.MFLOPS >= rl.MFLOPS {
+		t.Fatalf("short rows %.0f MFLOPS not slower than long rows %.0f", rs.MFLOPS, rl.MFLOPS)
+	}
+}
+
+func TestColdVsWarmCache(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	warm := mustRun(t, m, fixSmall, Options{Mapping: scc.DistanceReductionMapping(24)})
+	cold := mustRun(t, m, fixSmall, Options{Mapping: scc.DistanceReductionMapping(24), ColdCache: true})
+	if warm.MFLOPS <= cold.MFLOPS {
+		t.Fatal("warm caches should beat cold for an L2-resident matrix")
+	}
+	// For a streaming matrix the difference must be small.
+	warmB := mustRun(t, m, fixBig, Options{Mapping: scc.Mapping{0}})
+	coldB := mustRun(t, m, fixBig, Options{Mapping: scc.Mapping{0}, ColdCache: true})
+	if r := warmB.MFLOPS / coldB.MFLOPS; r > 1.2 {
+		t.Fatalf("streaming matrix warm/cold ratio %.2f; should be near 1", r)
+	}
+}
+
+func TestPartitionSchemes(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	for _, s := range []partition.Scheme{partition.SchemeByNNZ, partition.SchemeByRows, partition.SchemeCyclic} {
+		r, err := m.RunSpMV(fixIrr, nil, Options{UEs: 8, Scheme: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		want := make([]float64, fixIrr.Rows)
+		x := make([]float64, fixIrr.Cols)
+		for i := range x {
+			x[i] = 1
+		}
+		fixIrr.MulVec(want, x)
+		for i := range want {
+			if math.Abs(r.Y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: wrong product at row %d", s, i)
+			}
+		}
+	}
+}
+
+func TestMoreCoresFaster(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	prev := 0.0
+	for _, n := range []int{1, 4, 16, 48} {
+		r := mustRun(t, m, fixBig, Options{Mapping: scc.DistanceReductionMapping(n)})
+		if r.MFLOPS <= prev {
+			t.Fatalf("no speedup at %d cores: %.0f <= %.0f", n, r.MFLOPS, prev)
+		}
+		prev = r.MFLOPS
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if KernelStandard.String() != "standard" || KernelNoXMiss.String() != "no-x-miss" {
+		t.Fatal("variant names")
+	}
+	if Variant(7).String() != "invalid" {
+		t.Fatal("invalid variant name")
+	}
+}
+
+func TestLayoutNonOverlapping(t *testing.T) {
+	l := layoutFor(fixBig)
+	n, nnz := uint64(fixBig.Rows), uint64(fixBig.NNZ())
+	type span struct{ lo, hi uint64 }
+	spans := []span{
+		{l.ptr, l.ptr + 4*(n+1)},
+		{l.index, l.index + 4*nnz},
+		{l.val, l.val + 8*nnz},
+		{l.x, l.x + 8*n},
+		{l.y, l.y + 8*n},
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			t.Fatalf("array %d overlaps previous: %#x < %#x", i, spans[i].lo, spans[i-1].hi)
+		}
+		if spans[i].lo%32 != 0 {
+			t.Fatalf("array %d base %#x not line aligned", i, spans[i].lo)
+		}
+	}
+}
+
+func TestMemStallPlusComputeEqualsTime(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	r := mustRun(t, m, fixBig, Options{UEs: 4})
+	barrier := 4 * m.Params.BarrierMeshCyclesPerUE / (float64(m.Domains.MeshMHz) * 1e6)
+	for _, c := range r.PerCore {
+		want := c.ComputeSec + c.Slowdown*c.MemStallSec + barrier
+		if math.Abs(c.TimeSec-want) > 1e-12 {
+			t.Fatalf("core %d: time %v != compute %v + slowdown %v * stall %v + barrier %v",
+				c.Core, c.TimeSec, c.ComputeSec, c.Slowdown, c.MemStallSec, barrier)
+		}
+	}
+}
+
+func TestBarrierCostScalesWithUEsAndMeshClock(t *testing.T) {
+	// A tiny matrix makes the barrier visible: per-core time at 48 UEs
+	// must exceed the single-UE time share by at least the barrier.
+	tiny := sparse.Identity(480)
+	m := NewMachine(scc.Conf0)
+	r48 := mustRun(t, m, tiny, Options{Mapping: scc.DistanceReductionMapping(48)})
+	barrier48 := 48 * m.Params.BarrierMeshCyclesPerUE / (float64(m.Domains.MeshMHz) * 1e6)
+	if r48.TimeSec < barrier48 {
+		t.Fatalf("48-UE run %v shorter than its own barrier %v", r48.TimeSec, barrier48)
+	}
+	// Doubling the mesh clock halves the barrier: conf1's tiny-matrix
+	// run must be faster than conf0's by more than the core ratio alone
+	// would suggest... at minimum, strictly faster.
+	m1 := NewMachine(scc.Conf1)
+	r1 := mustRun(t, m1, tiny, Options{Mapping: scc.DistanceReductionMapping(48)})
+	if r1.TimeSec >= r48.TimeSec {
+		t.Fatal("faster mesh clock did not shrink a barrier-dominated run")
+	}
+}

@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestColumnBandsPartitionEntries(t *testing.T) {
+	a := Generate(Gen{Name: "cb", Class: PatternRandom, N: 300, NNZTarget: 3000, Seed: 15})
+	bands := ColumnBands(a, 64)
+	want := (a.Cols + 63) / 64
+	if len(bands) != want {
+		t.Fatalf("bands = %d, want %d", len(bands), want)
+	}
+	total := 0
+	for bi, b := range bands {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("band %d invalid: %v", bi, err)
+		}
+		total += b.NNZ()
+		lo, hi := int32(bi*64), int32((bi+1)*64)
+		for _, c := range b.Index {
+			if c < lo || c >= hi {
+				t.Fatalf("band %d holds column %d outside [%d,%d)", bi, c, lo, hi)
+			}
+		}
+	}
+	if total != a.NNZ() {
+		t.Fatalf("bands hold %d entries, want %d", total, a.NNZ())
+	}
+}
+
+func TestMulVecBandedMatchesCSR(t *testing.T) {
+	a := Generate(Gen{Name: "cb", Class: PatternPowerLaw, N: 250, NNZTarget: 2500, Seed: 16})
+	for _, bw := range []int{16, 64, 250, 1000} {
+		bands := ColumnBands(a, bw)
+		x, _ := testVectors(a.Cols)
+		want := make([]float64, a.Rows)
+		got := make([]float64, a.Rows)
+		a.MulVec(want, x)
+		MulVecBanded(bands, got, x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("bw=%d row %d: %v != %v", bw, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestColumnBandsEdgeCases(t *testing.T) {
+	// Single band covering everything equals the original pattern.
+	a := Generate(Gen{Name: "cb", Class: PatternBanded, N: 50, NNZTarget: 300, Seed: 17})
+	bands := ColumnBands(a, a.Cols)
+	if len(bands) != 1 || bands[0].NNZ() != a.NNZ() {
+		t.Fatalf("single band wrong: %d bands, %d nnz", len(bands), bands[0].NNZ())
+	}
+	MulVecBanded(nil, nil, nil) // no bands: no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bandCols=0 did not panic")
+		}
+	}()
+	ColumnBands(a, 0)
+}

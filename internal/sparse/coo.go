@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format (triplet) sparse matrix. It is the natural
+// assembly format: entries may be appended in any order and duplicates are
+// summed when converting to CSR, mirroring finite-element assembly.
+type COO struct {
+	Name       string
+	Rows, Cols int
+	I, J       []int32
+	V          []float64
+}
+
+// NewCOO returns an empty COO matrix of the given dimensions with capacity
+// for capHint entries.
+func NewCOO(rows, cols, capHint int) *COO {
+	return &COO{
+		Rows: rows,
+		Cols: cols,
+		I:    make([]int32, 0, capHint),
+		J:    make([]int32, 0, capHint),
+		V:    make([]float64, 0, capHint),
+	}
+}
+
+// NNZ returns the number of stored triplets (duplicates counted separately).
+func (c *COO) NNZ() int { return len(c.V) }
+
+// Append adds the entry (i, j, v). It panics when (i, j) is out of range so
+// assembly bugs surface at the insertion site rather than at conversion.
+func (c *COO) Append(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO entry (%d,%d) outside %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, int32(i))
+	c.J = append(c.J, int32(j))
+	c.V = append(c.V, v)
+}
+
+// MulVec computes y = A·x directly from the triplets. y is zeroed first.
+func (c *COO) MulVec(y, x []float64) {
+	if len(x) != c.Cols || len(y) != c.Rows {
+		panic("sparse: COO MulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for k := range c.V {
+		y[c.I[k]] += c.V[k] * x[c.J[k]]
+	}
+}
+
+// ToCSR converts to CSR, sorting entries into row-major order and summing
+// duplicate coordinates. The receiver is not modified.
+func (c *COO) ToCSR() *CSR {
+	type ent struct {
+		i, j int32
+		v    float64
+	}
+	ents := make([]ent, len(c.V))
+	for k := range c.V {
+		ents[k] = ent{c.I[k], c.J[k], c.V[k]}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].i != ents[b].i {
+			return ents[a].i < ents[b].i
+		}
+		return ents[a].j < ents[b].j
+	})
+
+	m := &CSR{
+		Name: c.Name,
+		Rows: c.Rows,
+		Cols: c.Cols,
+		Ptr:  make([]int32, c.Rows+1),
+	}
+	m.Index = make([]int32, 0, len(ents))
+	m.Val = make([]float64, 0, len(ents))
+	for k := 0; k < len(ents); {
+		e := ents[k]
+		v := e.v
+		k++
+		for k < len(ents) && ents[k].i == e.i && ents[k].j == e.j {
+			v += ents[k].v
+			k++
+		}
+		m.Index = append(m.Index, e.j)
+		m.Val = append(m.Val, v)
+		m.Ptr[e.i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.Ptr[i+1] += m.Ptr[i]
+	}
+	return m
+}
+
+// FromCSR expands a CSR matrix back into triplets in row-major order.
+func FromCSR(m *CSR) *COO {
+	c := NewCOO(m.Rows, m.Cols, m.NNZ())
+	c.Name = m.Name
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			c.I = append(c.I, int32(i))
+			c.J = append(c.J, m.Index[k])
+			c.V = append(c.V, m.Val[k])
+		}
+	}
+	return c
+}

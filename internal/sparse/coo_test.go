@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCOOToCSRSortsAndSums(t *testing.T) {
+	coo := NewCOO(3, 3, 8)
+	// Insert out of order with a duplicate (1,1).
+	coo.Append(2, 0, 5)
+	coo.Append(0, 2, 1)
+	coo.Append(1, 1, 2)
+	coo.Append(1, 1, 3) // duplicate: summed to 5
+	coo.Append(0, 0, 7)
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("ToCSR produced invalid matrix: %v", err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4 (duplicate summed)", m.NNZ())
+	}
+	if got := m.At(1, 1); got != 5 {
+		t.Fatalf("duplicate (1,1) = %v, want 5", got)
+	}
+	if m.At(0, 0) != 7 || m.At(0, 2) != 1 || m.At(2, 0) != 5 {
+		t.Fatal("entries misplaced after conversion")
+	}
+}
+
+func TestCOOAppendBoundsPanic(t *testing.T) {
+	coo := NewCOO(2, 2, 1)
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Append(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			coo.Append(c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestCOOMulVecMatchesCSR(t *testing.T) {
+	m := Generate(Gen{Name: "g", Class: PatternRandom, N: 90, NNZTarget: 900, Seed: 11})
+	coo := FromCSR(m)
+	if coo.NNZ() != m.NNZ() {
+		t.Fatalf("FromCSR lost entries: %d vs %d", coo.NNZ(), m.NNZ())
+	}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	y1 := make([]float64, m.Rows)
+	y2 := make([]float64, m.Rows)
+	m.MulVec(y1, x)
+	coo.MulVec(y2, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9*math.Max(1, math.Abs(y1[i])) {
+			t.Fatalf("COO/CSR disagree at %d: %v vs %v", i, y2[i], y1[i])
+		}
+	}
+}
+
+func TestCOORoundTrip(t *testing.T) {
+	m := Generate(Gen{Name: "rt", Class: PatternStencil2D, N: 100, NNZTarget: 500, Seed: 2})
+	back := FromCSR(m).ToCSR()
+	back.Name = m.Name
+	if !m.Equal(back) {
+		t.Fatal("CSR -> COO -> CSR round trip changed the matrix")
+	}
+}
+
+func TestCOOEmpty(t *testing.T) {
+	coo := NewCOO(4, 4, 0)
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("empty conversion invalid: %v", err)
+	}
+	if m.Rows != 4 || m.NNZ() != 0 {
+		t.Fatal("empty conversion wrong shape")
+	}
+}

@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DIA and HYB complete the format family of Bell & Garland's CUDA SpMV
+// library, which the paper uses for its Tesla C1060/M2050 measurements.
+// DIA stores dense diagonals (banded matrices); HYB splits a matrix into an
+// ELL part for the typical row prefix plus a COO tail for the overflow,
+// which is how GPUs handle heavy-tailed row distributions.
+
+// DIA is the diagonal format: each stored diagonal k (column - row offset)
+// is a dense column of length Rows with zero padding where the diagonal
+// leaves the matrix.
+type DIA struct {
+	Name       string
+	Rows, Cols int
+	// Offsets lists the stored diagonals in ascending order.
+	Offsets []int32
+	// Val holds len(Offsets) x Rows entries; diagonal d's element for
+	// row i sits at d*Rows + i.
+	Val []float64
+}
+
+// ToDIA converts a CSR matrix to DIA. It fails when the number of occupied
+// diagonals exceeds maxDiags (the format explodes on unstructured
+// patterns - exactly why GPUs reserve it for banded matrices).
+func ToDIA(m *CSR, maxDiags int) (*DIA, error) {
+	seen := map[int32]bool{}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			seen[m.Index[k]-int32(i)] = true
+		}
+	}
+	if len(seen) > maxDiags {
+		return nil, fmt.Errorf("sparse: DIA needs %d diagonals, limit %d", len(seen), maxDiags)
+	}
+	offsets := make([]int32, 0, len(seen))
+	for o := range seen {
+		offsets = append(offsets, o)
+	}
+	sort.Slice(offsets, func(a, b int) bool { return offsets[a] < offsets[b] })
+	pos := make(map[int32]int, len(offsets))
+	for p, o := range offsets {
+		pos[o] = p
+	}
+	d := &DIA{
+		Name: m.Name, Rows: m.Rows, Cols: m.Cols,
+		Offsets: offsets,
+		Val:     make([]float64, len(offsets)*m.Rows),
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			off := m.Index[k] - int32(i)
+			d.Val[pos[off]*m.Rows+i] = m.Val[k]
+		}
+	}
+	return d, nil
+}
+
+// NNZ returns the number of stored non-padding entries (nonzero values).
+func (d *DIA) NNZ() int {
+	n := 0
+	for _, v := range d.Val {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PaddingRatio returns stored slots (including padding) per nonzero.
+func (d *DIA) PaddingRatio() float64 {
+	nnz := d.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	return float64(len(d.Val)) / float64(nnz)
+}
+
+// MulVec computes y = A·x diagonal by diagonal.
+func (d *DIA) MulVec(y, x []float64) {
+	if len(x) != d.Cols || len(y) != d.Rows {
+		panic("sparse: DIA MulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for p, off := range d.Offsets {
+		base := p * d.Rows
+		lo, hi := 0, d.Rows
+		if off < 0 {
+			lo = int(-off)
+		}
+		if over := d.Rows + int(off) - d.Cols; over > 0 {
+			hi -= over
+		}
+		for i := lo; i < hi; i++ {
+			y[i] += d.Val[base+i] * x[i+int(off)]
+		}
+	}
+}
+
+// HYB is the hybrid format: an ELL slab of width K covering the common row
+// prefix plus a COO tail holding the overflow entries of long rows.
+type HYB struct {
+	Name       string
+	Rows, Cols int
+	ELL        *ELL
+	Tail       *COO
+}
+
+// ToHYB converts a CSR matrix to HYB, choosing K as the given quantile of
+// the row-length distribution (Bell & Garland use roughly the 2/3 point;
+// quantile in (0, 1]).
+func ToHYB(m *CSR, quantile float64) (*HYB, error) {
+	if quantile <= 0 || quantile > 1 {
+		return nil, fmt.Errorf("sparse: HYB quantile %v outside (0, 1]", quantile)
+	}
+	lengths := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		lengths[i] = m.RowNNZ(i)
+	}
+	sorted := append([]int(nil), lengths...)
+	sort.Ints(sorted)
+	k := 0
+	if m.Rows > 0 {
+		idx := int(quantile*float64(m.Rows)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= m.Rows {
+			idx = m.Rows - 1
+		}
+		k = sorted[idx]
+	}
+	if k == 0 {
+		k = 1
+	}
+
+	e := &ELL{
+		Name: m.Name, Rows: m.Rows, Cols: m.Cols, K: k,
+		Index: make([]int32, m.Rows*k),
+		Val:   make([]float64, m.Rows*k),
+	}
+	for i := range e.Index {
+		e.Index[i] = -1
+	}
+	tail := NewCOO(m.Rows, m.Cols, 0)
+	tail.Name = m.Name + "+tail"
+	for i := 0; i < m.Rows; i++ {
+		base := i * k
+		s := 0
+		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
+			if s < k {
+				e.Index[base+s] = m.Index[p]
+				e.Val[base+s] = m.Val[p]
+				s++
+			} else {
+				tail.Append(i, int(m.Index[p]), m.Val[p])
+			}
+		}
+	}
+	return &HYB{Name: m.Name, Rows: m.Rows, Cols: m.Cols, ELL: e, Tail: tail}, nil
+}
+
+// NNZ returns the total stored entries across both parts.
+func (h *HYB) NNZ() int { return h.ELL.NNZ() + h.Tail.NNZ() }
+
+// TailFraction returns the share of entries in the COO tail.
+func (h *HYB) TailFraction() float64 {
+	total := h.NNZ()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Tail.NNZ()) / float64(total)
+}
+
+// MulVec computes y = A·x: the ELL slab then the scattered tail.
+func (h *HYB) MulVec(y, x []float64) {
+	if len(x) != h.Cols || len(y) != h.Rows {
+		panic("sparse: HYB MulVec dimension mismatch")
+	}
+	h.ELL.MulVec(y, x)
+	for t := range h.Tail.V {
+		y[h.Tail.I[t]] += h.Tail.V[t] * x[h.Tail.J[t]]
+	}
+}

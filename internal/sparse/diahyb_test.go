@@ -1,0 +1,172 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDIAMatchesCSROnBanded(t *testing.T) {
+	m := Generate(Gen{Name: "b", Class: PatternBanded, N: 300, NNZTarget: 3000, Bandwidth: 20, Seed: 3})
+	d, err := ToDIA(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := testVectors(m.Cols)
+	want := make([]float64, m.Rows)
+	got := make([]float64, m.Rows)
+	m.MulVec(want, x)
+	d.MulVec(got, x)
+	vecApproxEqual(t, got, want, "dia")
+}
+
+func TestDIALaplacianExactDiagonals(t *testing.T) {
+	m := Laplacian2D(10) // diagonals at -10, -1, 0, 1, 10
+	d, err := ToDIA(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Offsets) != 5 {
+		t.Fatalf("offsets = %v", d.Offsets)
+	}
+	want := []int32{-10, -1, 0, 1, 10}
+	for i, o := range want {
+		if d.Offsets[i] != o {
+			t.Fatalf("offsets = %v, want %v", d.Offsets, want)
+		}
+	}
+	x, _ := testVectors(m.Cols)
+	wantY := make([]float64, m.Rows)
+	gotY := make([]float64, m.Rows)
+	m.MulVec(wantY, x)
+	d.MulVec(gotY, x)
+	vecApproxEqual(t, gotY, wantY, "dia-laplacian")
+}
+
+func TestDIARejectsUnstructured(t *testing.T) {
+	m := Generate(Gen{Name: "r", Class: PatternRandom, N: 500, NNZTarget: 5000, Seed: 4})
+	if _, err := ToDIA(m, 50); err == nil {
+		t.Fatal("random matrix accepted with a 50-diagonal budget")
+	}
+}
+
+func TestDIAPaddingRatio(t *testing.T) {
+	m := Laplacian2D(8)
+	d, err := ToDIA(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NNZ() != m.NNZ() {
+		t.Fatalf("DIA nnz %d != CSR %d", d.NNZ(), m.NNZ())
+	}
+	if pr := d.PaddingRatio(); pr < 1 {
+		t.Fatalf("padding ratio %v < 1", pr)
+	}
+}
+
+func TestDIAEmptyAndMismatch(t *testing.T) {
+	d := &DIA{Rows: 2, Cols: 2}
+	if d.PaddingRatio() != 0 {
+		t.Fatal("empty DIA padding ratio != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	d.MulVec(make([]float64, 1), make([]float64, 2))
+}
+
+func TestHYBMatchesCSR(t *testing.T) {
+	for _, class := range []PatternClass{PatternPowerLaw, PatternRandom, PatternStencil2D} {
+		m := Generate(Gen{Name: string(class), Class: class, N: 400, NNZTarget: 4000, Seed: 6})
+		h, err := ToHYB(m, 0.66)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if h.NNZ() != m.NNZ() {
+			t.Fatalf("%s: HYB nnz %d != CSR %d", class, h.NNZ(), m.NNZ())
+		}
+		x, _ := testVectors(m.Cols)
+		want := make([]float64, m.Rows)
+		got := make([]float64, m.Rows)
+		m.MulVec(want, x)
+		h.MulVec(got, x)
+		vecApproxEqual(t, got, want, string(class))
+	}
+}
+
+func TestHYBTailAbsorbsHeavyRows(t *testing.T) {
+	m := Generate(Gen{Name: "pl", Class: PatternPowerLaw, N: 2000, NNZTarget: 20000, Seed: 7})
+	h, err := ToHYB(m, 0.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := h.TailFraction()
+	if tf <= 0 {
+		t.Fatal("power-law matrix produced no COO tail")
+	}
+	if tf > 0.6 {
+		t.Fatalf("tail fraction %.2f too large; K selection broken", tf)
+	}
+	// A constant-row-length matrix needs almost no tail.
+	uniform := Laplacian2D(40)
+	hu, err := ToHYB(uniform, 0.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hu.TailFraction() > 0.45 {
+		t.Fatalf("uniform matrix tail fraction %.2f", hu.TailFraction())
+	}
+}
+
+func TestHYBQuantileValidation(t *testing.T) {
+	m := Identity(4)
+	for _, q := range []float64{0, -0.5, 1.5} {
+		if _, err := ToHYB(m, q); err == nil {
+			t.Errorf("quantile %v accepted", q)
+		}
+	}
+	if _, err := ToHYB(m, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHYBFullQuantileHasEmptyTail(t *testing.T) {
+	m := Generate(Gen{Name: "g", Class: PatternRandom, N: 100, NNZTarget: 800, Seed: 8})
+	h, err := ToHYB(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tail.NNZ() != 0 {
+		t.Fatalf("quantile 1 left %d tail entries", h.Tail.NNZ())
+	}
+}
+
+func TestDIAHYBOnIdentity(t *testing.T) {
+	m := Identity(16)
+	d, err := ToDIA(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ToHYB(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	y := make([]float64, 16)
+	d.MulVec(y, x)
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-15 {
+			t.Fatal("DIA identity broken")
+		}
+	}
+	h.MulVec(y, x)
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-15 {
+			t.Fatal("HYB identity broken")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the parser against malformed input: it must
+// never panic, and anything it accepts must be a valid CSR matrix that
+// round-trips through the writer.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2.0\n2 1 -1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("writer failed on accepted matrix: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		back.Name = m.Name
+		if !m.Equal(back) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

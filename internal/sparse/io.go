@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the subset of the MatrixMarket exchange format the
+// UFL collection distributes: "coordinate real general" and
+// "coordinate real symmetric" headers, with pattern matrices mapped to
+// unit values. It lets users run the harness on real downloaded matrices
+// when a copy is available, and round-trips the synthetic testbed.
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate/real/general form.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if m.Name != "" {
+		if _, err := fmt.Fprintf(bw, "%% name: %s\n", m.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			// MatrixMarket is 1-based.
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.Index[k]+1, m.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into CSR.
+// Supported qualifiers: real/integer/pattern x general/symmetric.
+// Symmetric inputs are expanded to full storage (off-diagonals mirrored),
+// matching how the paper's working-set formula counts nonzeros.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported storage %q (only coordinate)", header[2])
+	}
+	field, symm := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported field type %q", field)
+	}
+	switch symm {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", symm)
+	}
+
+	// Skip comments; first non-comment line is the size line.
+	var rows, cols, nnz int
+	name := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			if rest, ok := strings.CutPrefix(line, "% name:"); ok {
+				name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d nnz=%d", rows, cols, nnz)
+	}
+
+	coo := NewCOO(rows, cols, nnz)
+	coo.Name = name
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q: %v", f[0], err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad column index %q: %v", f[1], err)
+		}
+		v := 1.0
+		if field != "pattern" {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("sparse: missing value on line %q", line)
+			}
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q: %v", f[2], err)
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		coo.Append(i-1, j-1, v)
+		if symm == "symmetric" && i != j {
+			coo.Append(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, found %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}

@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := Generate(Gen{Name: "roundtrip", Class: PatternBanded, N: 60, NNZTarget: 400, Seed: 12})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "roundtrip" {
+		t.Errorf("name %q lost in round trip", back.Name)
+	}
+	if !m.Equal(back) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a 3x3 symmetric matrix, lower triangle stored
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 5 { // 4 stored + 1 mirrored off-diagonal
+		t.Fatalf("nnz = %d, want 5 after symmetric expansion", m.NNZ())
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Fatal("off-diagonal not mirrored")
+	}
+	if m.At(0, 0) != 2 {
+		t.Fatal("diagonal wrong")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 3
+1 1
+1 2
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", m.NNZ())
+	}
+	for i := 0; i < 2; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			if m.Val[k] != 1 {
+				t.Fatal("pattern entries must read as 1.0")
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketIntegerField(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 7\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 1) != 7 {
+		t.Fatalf("At(1,1) = %v, want 7", m.At(1, 1))
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "%%NotMatrixMarket matrix coordinate real general\n1 1 0\n",
+		"array storage":    "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"complex field":    "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"skew symmetry":    "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n",
+		"bad size line":    "%%MatrixMarket matrix coordinate real general\nfoo bar baz\n",
+		"out of range":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"missing value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"truncated":        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+		"bad row index":    "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"bad column index": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n",
+		"bad value":        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"zero rows":        "%%MatrixMarket matrix coordinate real general\n0 2 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestWriteMatrixMarketOneBased(t *testing.T) {
+	m := Identity(2)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\n1 1 1\n") || !strings.Contains(out, "\n2 2 1\n") {
+		t.Fatalf("output not 1-based:\n%s", out)
+	}
+}

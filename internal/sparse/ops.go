@@ -1,0 +1,140 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix algebra utilities used by the solvers and examples: addition,
+// scaling, diagonal extraction and the standard norms.
+
+// Add returns a + b (same dimensions; patterns merged, coincident entries
+// summed).
+func Add(a, b *CSR) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("sparse: Add dimension mismatch: %dx%d vs %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := &CSR{
+		Name: a.Name + "+" + b.Name,
+		Rows: a.Rows, Cols: a.Cols,
+		Ptr: make([]int32, a.Rows+1),
+	}
+	for i := 0; i < a.Rows; i++ {
+		ka, kaEnd := a.Ptr[i], a.Ptr[i+1]
+		kb, kbEnd := b.Ptr[i], b.Ptr[i+1]
+		for ka < kaEnd || kb < kbEnd {
+			switch {
+			case kb >= kbEnd || (ka < kaEnd && a.Index[ka] < b.Index[kb]):
+				out.Index = append(out.Index, a.Index[ka])
+				out.Val = append(out.Val, a.Val[ka])
+				ka++
+			case ka >= kaEnd || b.Index[kb] < a.Index[ka]:
+				out.Index = append(out.Index, b.Index[kb])
+				out.Val = append(out.Val, b.Val[kb])
+				kb++
+			default: // equal columns
+				out.Index = append(out.Index, a.Index[ka])
+				out.Val = append(out.Val, a.Val[ka]+b.Val[kb])
+				ka++
+				kb++
+			}
+		}
+		out.Ptr[i+1] = int32(len(out.Val))
+	}
+	return out, nil
+}
+
+// ScaleValues multiplies every stored value by s in place.
+func (m *CSR) ScaleValues(s float64) {
+	for k := range m.Val {
+		m.Val[k] *= s
+	}
+}
+
+// Diagonal returns the main diagonal as a dense vector (zeros where the
+// diagonal is not stored). The matrix must be square.
+func (m *CSR) Diagonal() ([]float64, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("sparse: Diagonal of a %dx%d matrix", m.Rows, m.Cols)
+	}
+	d := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d, nil
+}
+
+// AddDiagonal returns m + s·I (square matrices), inserting diagonal entries
+// where absent.
+func AddDiagonal(m *CSR, s float64) (*CSR, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("sparse: AddDiagonal of a %dx%d matrix", m.Rows, m.Cols)
+	}
+	eye := Identity(m.Rows)
+	eye.ScaleValues(s)
+	out, err := Add(m, eye)
+	if err != nil {
+		return nil, err
+	}
+	out.Name = fmt.Sprintf("%s+%gI", m.Name, s)
+	return out, nil
+}
+
+// NormFrobenius returns sqrt(sum of squared stored values).
+func (m *CSR) NormFrobenius() float64 {
+	s := 0.0
+	for _, v := range m.Val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute row sum.
+func (m *CSR) NormInf() float64 {
+	best := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			s += math.Abs(m.Val[k])
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Norm1 returns the maximum absolute column sum.
+func (m *CSR) Norm1() float64 {
+	sums := make([]float64, m.Cols)
+	for k := range m.Val {
+		sums[m.Index[k]] += math.Abs(m.Val[k])
+	}
+	best := 0.0
+	for _, s := range sums {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// DropZeros returns a copy with explicitly stored zero values removed.
+func (m *CSR) DropZeros() *CSR {
+	out := &CSR{
+		Name: m.Name,
+		Rows: m.Rows, Cols: m.Cols,
+		Ptr: make([]int32, m.Rows+1),
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			if m.Val[k] != 0 {
+				out.Index = append(out.Index, m.Index[k])
+				out.Val = append(out.Val, m.Val[k])
+			}
+		}
+		out.Ptr[i+1] = int32(len(out.Val))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package sparse
+
+import "math"
+
+// Stats summarises the structural properties of a matrix that drive SpMV
+// performance in the paper's analysis: size, row-length distribution (loop
+// overhead) and column locality (irregular x accesses).
+type Stats struct {
+	Name       string
+	Rows, Cols int
+	NNZ        int
+	NNZPerRow  float64
+	// MinRow/MaxRow are the extreme row lengths; StdRow is the standard
+	// deviation of the row-length distribution.
+	MinRow, MaxRow int
+	StdRow         float64
+	// EmptyRows counts rows with no stored entries.
+	EmptyRows int
+	// Bandwidth is max |i - j| over stored entries.
+	Bandwidth int
+	// AvgColSpan is the mean over rows of (max col - min col), the
+	// footprint each row touches in x; a direct locality proxy.
+	AvgColSpan float64
+	// DiagFraction is the fraction of entries within |i-j| <= 8 lines
+	// worth of columns (32 columns), a near-diagonal locality measure.
+	DiagFraction float64
+	// WorkingSetMB is the paper's working-set formula in MB.
+	WorkingSetMB float64
+}
+
+// ComputeStats scans the matrix once and fills a Stats record.
+func ComputeStats(m *CSR) Stats {
+	s := Stats{
+		Name: m.Name,
+		Rows: m.Rows, Cols: m.Cols,
+		NNZ:          m.NNZ(),
+		NNZPerRow:    m.NNZPerRow(),
+		MinRow:       math.MaxInt,
+		WorkingSetMB: m.WorkingSetMB(),
+	}
+	if m.Rows == 0 {
+		s.MinRow = 0
+		return s
+	}
+	var sumSq float64
+	var spanSum float64
+	nearDiag := 0
+	for i := 0; i < m.Rows; i++ {
+		l := m.RowNNZ(i)
+		if l < s.MinRow {
+			s.MinRow = l
+		}
+		if l > s.MaxRow {
+			s.MaxRow = l
+		}
+		if l == 0 {
+			s.EmptyRows++
+		}
+		d := float64(l) - s.NNZPerRow
+		sumSq += d * d
+		lo, hi := m.Ptr[i], m.Ptr[i+1]
+		if lo < hi {
+			first, last := int(m.Index[lo]), int(m.Index[hi-1])
+			spanSum += float64(last - first)
+			for k := lo; k < hi; k++ {
+				if abs(int(m.Index[k])-i) <= 32 {
+					nearDiag++
+				}
+				if d := abs(int(m.Index[k]) - i); d > s.Bandwidth {
+					s.Bandwidth = d
+				}
+			}
+		}
+	}
+	s.StdRow = math.Sqrt(sumSq / float64(m.Rows))
+	s.AvgColSpan = spanSum / float64(m.Rows)
+	if s.NNZ > 0 {
+		s.DiagFraction = float64(nearDiag) / float64(s.NNZ)
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

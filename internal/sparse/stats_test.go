@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStatsKnownMatrix(t *testing.T) {
+	// Tridiagonal 5x5: rows have lengths 2,3,3,3,2; bandwidth 1.
+	coo := NewCOO(5, 5, 13)
+	for i := 0; i < 5; i++ {
+		coo.Append(i, i, 2)
+		if i > 0 {
+			coo.Append(i, i-1, -1)
+		}
+		if i < 4 {
+			coo.Append(i, i+1, -1)
+		}
+	}
+	st := ComputeStats(coo.ToCSR())
+	if st.NNZ != 13 {
+		t.Fatalf("nnz = %d, want 13", st.NNZ)
+	}
+	if st.MinRow != 2 || st.MaxRow != 3 {
+		t.Fatalf("row lengths [%d,%d], want [2,3]", st.MinRow, st.MaxRow)
+	}
+	if st.Bandwidth != 1 {
+		t.Fatalf("bandwidth = %d, want 1", st.Bandwidth)
+	}
+	if st.EmptyRows != 0 {
+		t.Fatalf("empty rows = %d, want 0", st.EmptyRows)
+	}
+	if st.DiagFraction != 1 {
+		t.Fatalf("diag fraction = %v, want 1 (all entries near diagonal)", st.DiagFraction)
+	}
+	if math.Abs(st.NNZPerRow-2.6) > 1e-12 {
+		t.Fatalf("nnz/row = %v, want 2.6", st.NNZPerRow)
+	}
+}
+
+func TestComputeStatsEmptyRows(t *testing.T) {
+	m := &CSR{Rows: 3, Cols: 3, Ptr: []int32{0, 1, 1, 2},
+		Index: []int32{0, 2}, Val: []float64{1, 1}}
+	st := ComputeStats(m)
+	if st.EmptyRows != 1 {
+		t.Fatalf("empty rows = %d, want 1", st.EmptyRows)
+	}
+	if st.MinRow != 0 {
+		t.Fatalf("min row = %d, want 0", st.MinRow)
+	}
+}
+
+func TestComputeStatsZeroMatrix(t *testing.T) {
+	st := ComputeStats(&CSR{Ptr: []int32{0}})
+	if st.NNZ != 0 || st.MinRow != 0 {
+		t.Fatalf("zero-matrix stats wrong: %+v", st)
+	}
+}
+
+func TestComputeStatsFarOffDiagonal(t *testing.T) {
+	m := &CSR{Rows: 100, Cols: 100, Ptr: make([]int32, 101),
+		Index: []int32{99}, Val: []float64{1}}
+	for i := 1; i <= 100; i++ {
+		m.Ptr[i] = 1
+	}
+	st := ComputeStats(m)
+	if st.Bandwidth != 99 {
+		t.Fatalf("bandwidth = %d, want 99", st.Bandwidth)
+	}
+	if st.DiagFraction != 0 {
+		t.Fatalf("diag fraction = %v, want 0", st.DiagFraction)
+	}
+}

@@ -1,0 +1,100 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func symmetricFixture(seed int64) *CSR {
+	// Build A + A^T from a random pattern: numerically symmetric.
+	g := Generate(Gen{Name: "s", Class: PatternRandom, N: 200, NNZTarget: 1600, Seed: seed})
+	t := g.Transpose()
+	coo := NewCOO(200, 200, 2*g.NNZ())
+	for i := 0; i < g.Rows; i++ {
+		for k := g.Ptr[i]; k < g.Ptr[i+1]; k++ {
+			coo.Append(i, int(g.Index[k]), g.Val[k])
+		}
+		for k := t.Ptr[i]; k < t.Ptr[i+1]; k++ {
+			coo.Append(i, int(t.Index[k]), t.Val[k])
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = "sym"
+	return m
+}
+
+func TestToSYMRoundTripProduct(t *testing.T) {
+	m := symmetricFixture(1)
+	s, err := ToSYM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := testVectors(m.Cols)
+	want := make([]float64, m.Rows)
+	got := make([]float64, m.Rows)
+	m.MulVec(want, x)
+	s.MulVec(got, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestToSYMCompression(t *testing.T) {
+	m := Laplacian2D(20)
+	s, err := ToSYM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LogicalNNZ() != m.NNZ() {
+		t.Fatalf("logical nnz %d != %d", s.LogicalNNZ(), m.NNZ())
+	}
+	cr := s.CompressionRatio()
+	if cr <= 0.5 || cr > 0.65 {
+		t.Fatalf("compression ratio %v; Laplacian should be slightly above 0.5 (diagonal)", cr)
+	}
+	// Stored entries = (nnz + n) / 2 for a full-diagonal symmetric matrix.
+	want := (m.NNZ() + m.Rows) / 2
+	if s.StoredNNZ() != want {
+		t.Fatalf("stored nnz %d, want %d", s.StoredNNZ(), want)
+	}
+}
+
+func TestToSYMRejectsUnsymmetric(t *testing.T) {
+	m := Generate(Gen{Name: "u", Class: PatternRandom, N: 50, NNZTarget: 400, Seed: 2})
+	if _, err := ToSYM(m); err == nil {
+		t.Fatal("random unsymmetric matrix accepted")
+	}
+	rect := &CSR{Rows: 2, Cols: 3, Ptr: []int32{0, 0, 0}}
+	if _, err := ToSYM(rect); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+	// Structurally symmetric but numerically not.
+	coo := NewCOO(2, 2, 4)
+	coo.Append(0, 0, 1)
+	coo.Append(0, 1, 2)
+	coo.Append(1, 0, 3) // != 2
+	coo.Append(1, 1, 1)
+	if _, err := ToSYM(coo.ToCSR()); err == nil {
+		t.Fatal("numerically unsymmetric matrix accepted")
+	}
+}
+
+func TestSYMIdentity(t *testing.T) {
+	s, err := ToSYM(Identity(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StoredNNZ() != 9 || s.LogicalNNZ() != 9 {
+		t.Fatalf("identity SYM: stored %d logical %d", s.StoredNNZ(), s.LogicalNNZ())
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	y := make([]float64, 9)
+	s.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("identity product wrong")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package spmv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	// X is the solution estimate.
+	X []float64
+	// Iterations is the number of CG steps performed.
+	Iterations int
+	// Residual is the final ||b - Ax|| / ||b||.
+	Residual float64
+	// Converged reports whether the tolerance was met.
+	Converged bool
+}
+
+// ErrNotSPD signals that CG hit a non-positive curvature direction: the
+// matrix is not symmetric positive definite.
+var ErrNotSPD = errors.New("spmv: matrix is not symmetric positive definite")
+
+// CG solves A·x = b with the conjugate-gradient method, the canonical
+// SpMV-dominated solver the paper's introduction motivates. A must be
+// symmetric positive definite. It stops when the relative residual drops
+// below tol or after maxIter steps.
+func CG(a *sparse.CSR, b []float64, tol float64, maxIter int) (*CGResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("spmv: CG needs a square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("spmv: len(b)=%d != %d", len(b), a.Rows)
+	}
+	if tol <= 0 || maxIter <= 0 {
+		return nil, fmt.Errorf("spmv: CG needs tol > 0 and maxIter > 0")
+	}
+	n := a.Rows
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b - A*0
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		return &CGResult{X: x, Converged: true}, nil
+	}
+	rr := dot(r, r)
+	res := &CGResult{X: x}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if math.Sqrt(rr)/bNorm < tol {
+			res.Converged = true
+			break
+		}
+		a.MulVec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return nil, ErrNotSPD
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	if !res.Converged && math.Sqrt(rr)/bNorm < tol {
+		res.Converged = true
+	}
+	res.Residual = math.Sqrt(rr) / bNorm
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }

@@ -1,0 +1,79 @@
+package spmv
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/scc"
+)
+
+// Analytic cost model for the halo exchange of a distributed SpMV on the
+// SCC: messages move through the message passing buffers in line-sized
+// flits over the mesh. Per message the model charges a flag-handshake
+// startup, a per-hop mesh transit and an MPB-bandwidth term; per UE the
+// costs of its sends and receives serialise (single-issue P54C cores), and
+// the exchange completes when the busiest UE finishes.
+const (
+	// commStartupCoreCycles is the RCCE flag handshake per message.
+	commStartupCoreCycles = 1000
+	// commMeshCyclesPerHop is charged per mesh hop per message (flit
+	// pipeline setup; the payload streams behind it).
+	commMeshCyclesPerHop = 8
+	// commMeshCyclesPerLine is the MPB/mesh cost of moving one 32-byte
+	// line end to end.
+	commMeshCyclesPerLine = 16
+)
+
+// ExchangeCost prices one halo exchange of the plan with UEs placed by
+// mapping on a chip clocked at cc. It returns the busiest UE's time in
+// seconds.
+func ExchangeCost(plan *CommPlan, mapping scc.Mapping, cc scc.ClockConfig) (float64, error) {
+	k := len(plan.Parts)
+	if len(mapping) != k {
+		return 0, fmt.Errorf("spmv: mapping size %d != %d UEs", len(mapping), k)
+	}
+	if err := mapping.Validate(); err != nil {
+		return 0, err
+	}
+	grid := mesh.NewSCC()
+	coreCyc := cc.CoreCycleSec()
+	meshCyc := cc.MeshCycleSec()
+
+	perUE := make([]float64, k)
+	msgCost := func(u, v, entries int) float64 {
+		hops := grid.Hops(mapping[u].Coord(), mapping[v].Coord())
+		bytes := 8 * entries
+		lines := (bytes + scc.CacheLineBytes - 1) / scc.CacheLineBytes
+		return commStartupCoreCycles*coreCyc +
+			float64(hops*commMeshCyclesPerHop)*meshCyc +
+			float64(lines*commMeshCyclesPerLine)*meshCyc
+	}
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			n := len(plan.SendIdx[u][v])
+			if n == 0 {
+				continue
+			}
+			c := msgCost(u, v, n)
+			perUE[u] += c // sender side
+			perUE[v] += c // receiver side
+		}
+	}
+	busiest := 0.0
+	for _, t := range perUE {
+		if t > busiest {
+			busiest = t
+		}
+	}
+	return busiest, nil
+}
+
+// ExchangeFraction estimates what share of one distributed SpMV iteration
+// the halo exchange would consume, given the compute time of the kernel
+// (e.g. sim.Result.TimeSec): comm / (comm + compute).
+func ExchangeFraction(commSec, computeSec float64) float64 {
+	if commSec <= 0 {
+		return 0
+	}
+	return commSec / (commSec + computeSec)
+}

@@ -1,0 +1,243 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func TestCommPlanIdentityNeedsNoComm(t *testing.T) {
+	a := sparse.Identity(12)
+	plan, err := NewCommPlan(a, partition.ByNNZ(a, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Volume() != 0 {
+		t.Fatalf("identity exchange volume = %d, want 0", plan.Volume())
+	}
+	if plan.MaxDegree() != 0 {
+		t.Fatalf("identity max degree = %d", plan.MaxDegree())
+	}
+}
+
+func TestCommPlanTridiagonalNeighborOnly(t *testing.T) {
+	// A tridiagonal matrix split contiguously needs exactly the two
+	// boundary entries per internal cut.
+	n := 40
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Append(i, i, 2)
+		if i > 0 {
+			coo.Append(i, i-1, -1)
+		}
+		if i < n-1 {
+			coo.Append(i, i+1, -1)
+		}
+	}
+	a := coo.ToCSR()
+	const k = 4
+	plan, err := NewCommPlan(a, partition.ByRows(n, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 internal cuts x 2 directions x 1 entry each.
+	if plan.Volume() != 6 {
+		t.Fatalf("tridiagonal volume = %d, want 6", plan.Volume())
+	}
+	if plan.MaxDegree() > 2 {
+		t.Fatalf("tridiagonal max degree = %d, want <= 2", plan.MaxDegree())
+	}
+}
+
+func TestCommPlanOwnership(t *testing.T) {
+	a := sparse.Laplacian2D(8)
+	parts := partition.ByNNZ(a, 5)
+	plan, err := NewCommPlan(a, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, rows := range parts {
+		for _, r := range rows {
+			if plan.OwnerOf[r] != int32(u) {
+				t.Fatalf("row %d owner = %d, want %d", r, plan.OwnerOf[r], u)
+			}
+		}
+	}
+	// A UE never "sends to itself".
+	for u := range plan.SendIdx {
+		if len(plan.SendIdx[u][u]) != 0 {
+			t.Fatalf("UE %d has a self-send list", u)
+		}
+	}
+}
+
+func TestCommPlanValidation(t *testing.T) {
+	rect := &sparse.CSR{Rows: 2, Cols: 3, Ptr: []int32{0, 0, 0}}
+	if _, err := NewCommPlan(rect, partition.Parts{{0, 1}}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	a := sparse.Identity(4)
+	if _, err := NewCommPlan(a, partition.Parts{{0, 1}}); err == nil {
+		t.Error("incomplete partition accepted")
+	}
+}
+
+func TestDistRCCEMatchesSequential(t *testing.T) {
+	a, x, want := fixture(31)
+	for _, scheme := range []partition.Scheme{partition.SchemeByNNZ, partition.SchemeBFS, partition.SchemeCyclic} {
+		for _, ues := range []int{1, 3, 8} {
+			r, err := DistRCCE(a, x, ues, scheme, nil)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", scheme, ues, err)
+			}
+			assertClose(t, r.Y, want, string(scheme))
+		}
+	}
+}
+
+func TestDistRCCEWithMapping(t *testing.T) {
+	a, x, want := fixture(32)
+	r, err := DistRCCE(a, x, 8, partition.SchemeByNNZ, scc.DistanceReductionMapping(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClose(t, r.Y, want, "mapped")
+	if r.Volume <= 0 {
+		t.Fatal("no halo exchange recorded for a coupled matrix")
+	}
+	if r.Stats.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestDistRCCEValidation(t *testing.T) {
+	a, _, _ := fixture(33)
+	if _, err := DistRCCE(a, make([]float64, 3), 4, partition.SchemeByNNZ, nil); err == nil {
+		t.Error("short x accepted")
+	}
+	if _, err := DistRCCE(a, make([]float64, a.Cols), 4, "nope", nil); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestBFSPartitionReducesCommVolume(t *testing.T) {
+	// A shuffled band: contiguous blocks of the shuffled order touch x
+	// everywhere, while BFS clustering restores near-neighbour blocks.
+	band := sparse.Generate(sparse.Gen{
+		Name: "band", Class: sparse.PatternBanded, N: 3000, NNZTarget: 24000,
+		Bandwidth: 25, Seed: 9,
+	})
+	shuffled := sparse.ApplySymmetric(band, sparse.RandomPerm(3000, 17))
+	const k = 8
+	planContig, err := NewCommPlan(shuffled, partition.ByNNZ(shuffled, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planBFS, err := NewCommPlan(shuffled, partition.BFSClustered(shuffled, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planBFS.Volume() >= planContig.Volume() {
+		t.Fatalf("BFS volume %d not below contiguous %d", planBFS.Volume(), planContig.Volume())
+	}
+	// And it should be a substantial reduction, not noise.
+	if float64(planBFS.Volume()) > 0.7*float64(planContig.Volume()) {
+		t.Fatalf("BFS reduction too small: %d vs %d", planBFS.Volume(), planContig.Volume())
+	}
+}
+
+func TestDistRCCESingleUE(t *testing.T) {
+	a := sparse.Laplacian2D(10)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	r, err := DistRCCE(a, x, 1, partition.SchemeByNNZ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Volume != 0 {
+		t.Fatalf("single UE exchanged %d entries", r.Volume)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for i := range want {
+		if math.Abs(r.Y[i]-want[i]) > 1e-12 {
+			t.Fatal("single-UE product wrong")
+		}
+	}
+}
+
+func TestExchangeCostScalesWithVolumeAndDistance(t *testing.T) {
+	band := sparse.Generate(sparse.Gen{
+		Name: "b", Class: sparse.PatternBanded, N: 2000, NNZTarget: 16000,
+		Bandwidth: 20, Seed: 4,
+	})
+	shuffled := sparse.ApplySymmetric(band, sparse.RandomPerm(2000, 5))
+	const k = 8
+	planSmall, err := NewCommPlan(shuffled, partition.BFSClustered(shuffled, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planBig, err := NewCommPlan(shuffled, partition.ByNNZ(shuffled, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := scc.DistanceReductionMapping(k)
+	cSmall, err := ExchangeCost(planSmall, mapping, scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cBig, err := ExchangeCost(planBig, mapping, scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cSmall <= 0 || cBig <= 0 {
+		t.Fatal("non-positive exchange cost")
+	}
+	if cSmall >= cBig {
+		t.Fatalf("smaller halo not cheaper: %.2e vs %.2e", cSmall, cBig)
+	}
+	// A faster mesh (conf1) must shrink the cost.
+	cFast, err := ExchangeCost(planBig, mapping, scc.Conf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cFast >= cBig {
+		t.Fatal("faster clocks did not shrink the exchange")
+	}
+}
+
+func TestExchangeCostValidation(t *testing.T) {
+	a := sparse.Identity(8)
+	plan, err := NewCommPlan(a, partition.ByNNZ(a, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExchangeCost(plan, scc.Mapping{0, 1}, scc.Conf0); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := ExchangeCost(plan, scc.Mapping{0, 0, 1, 2}, scc.Conf0); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+	// No communication: zero cost.
+	c, err := ExchangeCost(plan, scc.StandardMapping(4), scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("identity exchange cost %v, want 0", c)
+	}
+}
+
+func TestExchangeFraction(t *testing.T) {
+	if ExchangeFraction(0, 1) != 0 {
+		t.Fatal("zero comm fraction")
+	}
+	if got := ExchangeFraction(1, 3); got != 0.25 {
+		t.Fatalf("fraction = %v, want 0.25", got)
+	}
+}

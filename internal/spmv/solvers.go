@@ -1,0 +1,194 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Additional iterative solvers around the SpMV kernel: BiCGSTAB for general
+// (unsymmetric) systems - most of the paper's testbed is unsymmetric - and
+// a Jacobi-preconditioned CG for ill-conditioned SPD systems. Both are
+// SpMV-dominated, like every workload the paper's introduction motivates.
+
+// BiCGSTABResult reports a BiCGSTAB solve.
+type BiCGSTABResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// BiCGSTAB solves A·x = b for a general square matrix using the
+// stabilised bi-conjugate gradient method. It stops when the relative
+// residual drops below tol or after maxIter steps; it returns an error on
+// a true breakdown (rho or omega collapsing to zero).
+func BiCGSTAB(a *sparse.CSR, b []float64, tol float64, maxIter int) (*BiCGSTABResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("spmv: BiCGSTAB needs a square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("spmv: len(b)=%d != %d", len(b), a.Rows)
+	}
+	if tol <= 0 || maxIter <= 0 {
+		return nil, fmt.Errorf("spmv: BiCGSTAB needs tol > 0 and maxIter > 0")
+	}
+	n := a.Rows
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	rHat := append([]float64(nil), b...) // shadow residual
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	tv := make([]float64, n)
+
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		return &BiCGSTABResult{X: x, Converged: true}, nil
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	res := &BiCGSTABResult{X: x}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if norm2(r)/bNorm < tol {
+			res.Converged = true
+			break
+		}
+		rhoNew := dot(rHat, r)
+		if math.Abs(rhoNew) < 1e-300 {
+			return nil, fmt.Errorf("spmv: BiCGSTAB breakdown (rho = %g) at iteration %d", rhoNew, res.Iterations)
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		a.MulVec(v, p)
+		alpha = rhoNew / dot(rHat, v)
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if norm2(s)/bNorm < tol {
+			for i := range x {
+				x[i] += alpha * p[i]
+			}
+			copy(r, s)
+			res.Iterations++
+			res.Converged = true
+			break
+		}
+		a.MulVec(tv, s)
+		tt := dot(tv, tv)
+		if tt == 0 {
+			return nil, fmt.Errorf("spmv: BiCGSTAB breakdown (t = 0) at iteration %d", res.Iterations)
+		}
+		omega = dot(tv, s) / tt
+		if math.Abs(omega) < 1e-300 {
+			return nil, fmt.Errorf("spmv: BiCGSTAB breakdown (omega = %g) at iteration %d", omega, res.Iterations)
+		}
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+			r[i] = s[i] - omega*tv[i]
+		}
+		rho = rhoNew
+	}
+	res.Residual = norm2(r) / bNorm
+	if res.Residual < tol {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// PCGJacobi solves A·x = b with CG preconditioned by the diagonal (Jacobi)
+// preconditioner: M = diag(A). A must be SPD with a positive diagonal.
+func PCGJacobi(a *sparse.CSR, b []float64, tol float64, maxIter int) (*CGResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("spmv: PCGJacobi needs a square matrix")
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("spmv: len(b)=%d != %d", len(b), a.Rows)
+	}
+	if tol <= 0 || maxIter <= 0 {
+		return nil, fmt.Errorf("spmv: PCGJacobi needs tol > 0 and maxIter > 0")
+	}
+	n := a.Rows
+	invDiag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if d <= 0 {
+			return nil, fmt.Errorf("spmv: non-positive diagonal %g at row %d", d, i)
+		}
+		invDiag[i] = 1 / d
+	}
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = invDiag[i] * r[i]
+	}
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		return &CGResult{X: x, Converged: true}, nil
+	}
+	rz := dot(r, z)
+	res := &CGResult{X: x}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if norm2(r)/bNorm < tol {
+			res.Converged = true
+			break
+		}
+		a.MulVec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return nil, ErrNotSPD
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	res.Residual = norm2(r) / bNorm
+	if res.Residual < tol {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// MulMat computes Y = A·X for K dense right-hand sides stored column-major
+// in x (K vectors of length Cols back to back) - the SpMM kernel that
+// amortises the irregular index stream over several vectors.
+func MulMat(a *sparse.CSR, y, x []float64, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("spmv: MulMat needs k > 0")
+	}
+	if len(x) != k*a.Cols || len(y) != k*a.Rows {
+		return fmt.Errorf("spmv: MulMat buffers: len(x)=%d want %d, len(y)=%d want %d",
+			len(x), k*a.Cols, len(y), k*a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for v := 0; v < k; v++ {
+			y[v*a.Rows+i] = 0
+		}
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			col := int(a.Index[p])
+			val := a.Val[p]
+			for v := 0; v < k; v++ {
+				y[v*a.Rows+i] += val * x[v*a.Cols+col]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// unsymmetricSystem builds a well-conditioned unsymmetric test system with
+// a known solution.
+func unsymmetricSystem(n int, seed int64) (*sparse.CSR, []float64, []float64) {
+	a := sparse.Generate(sparse.Gen{
+		Name: "unsym", Class: sparse.PatternBanded, N: n, NNZTarget: 6 * n,
+		Bandwidth: 10, Seed: seed,
+	})
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.2)
+	}
+	b := make([]float64, n)
+	a.MulVec(b, want)
+	return a, b, want
+}
+
+func TestBiCGSTABSolvesUnsymmetric(t *testing.T) {
+	a, b, want := unsymmetricSystem(400, 11)
+	res, err := BiCGSTAB(a, b, 1e-10, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: residual %v after %d iters", res.Residual, res.Iterations)
+	}
+	// Verify via the residual of the returned x (the solution itself may
+	// differ from `want` if A is near-singular, so check A·x = b).
+	ax := make([]float64, a.Rows)
+	a.MulVec(ax, res.X)
+	var num, den float64
+	for i := range b {
+		d := ax[i] - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if math.Sqrt(num/den) > 1e-8 {
+		t.Fatalf("residual check failed: %v", math.Sqrt(num/den))
+	}
+	_ = want
+}
+
+func TestBiCGSTABSolvesSPDToo(t *testing.T) {
+	a := sparse.Laplacian2D(12)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	res, err := BiCGSTAB(a, b, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCGSTAB failed on the Laplacian: %v", res.Residual)
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	a := sparse.Laplacian2D(4)
+	res, err := BiCGSTAB(a, make([]float64, a.Rows), 1e-8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero RHS: %+v", res)
+	}
+}
+
+func TestBiCGSTABValidation(t *testing.T) {
+	a := sparse.Laplacian2D(4)
+	b := make([]float64, a.Rows)
+	if _, err := BiCGSTAB(a, b[:2], 1e-8, 10); err == nil {
+		t.Error("short b accepted")
+	}
+	if _, err := BiCGSTAB(a, b, 0, 10); err == nil {
+		t.Error("tol=0 accepted")
+	}
+	if _, err := BiCGSTAB(a, b, 1e-8, 0); err == nil {
+		t.Error("maxIter=0 accepted")
+	}
+	rect := &sparse.CSR{Rows: 2, Cols: 3, Ptr: []int32{0, 0, 0}}
+	if _, err := BiCGSTAB(rect, b[:2], 1e-8, 10); err == nil {
+		t.Error("rectangular accepted")
+	}
+}
+
+func TestPCGJacobiConvergesFasterOnScaledSystem(t *testing.T) {
+	// Badly row-scaled SPD system: D*L*D with a wild diagonal D. Jacobi
+	// preconditioning should cut the iteration count well below plain CG.
+	lap := sparse.Laplacian2D(16)
+	n := lap.Rows
+	scaled := lap.Clone()
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = math.Pow(10, float64(i%5)-2) // 1e-2 .. 1e2
+	}
+	for i := 0; i < n; i++ {
+		for k := scaled.Ptr[i]; k < scaled.Ptr[i+1]; k++ {
+			scaled.Val[k] *= d[i] * d[scaled.Index[k]]
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = d[i] // keep the RHS scale compatible
+	}
+	plain, err := CG(scaled, b, 1e-9, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcg, err := PCGJacobi(scaled, b, 1e-9, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pcg.Converged {
+		t.Fatalf("PCG did not converge: %v", pcg.Residual)
+	}
+	if plain.Converged && pcg.Iterations >= plain.Iterations {
+		t.Fatalf("Jacobi PCG (%d iters) not faster than CG (%d) on a scaled system",
+			pcg.Iterations, plain.Iterations)
+	}
+}
+
+func TestPCGJacobiRejectsBadDiagonal(t *testing.T) {
+	coo := sparse.NewCOO(2, 2, 2)
+	coo.Append(0, 0, 1)
+	coo.Append(1, 0, 1) // zero diagonal at (1,1)
+	a := coo.ToCSR()
+	b := []float64{1, 1}
+	if _, err := PCGJacobi(a, b, 1e-8, 10); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestPCGJacobiValidation(t *testing.T) {
+	a := sparse.Laplacian2D(4)
+	b := make([]float64, a.Rows)
+	if _, err := PCGJacobi(a, b[:3], 1e-8, 10); err == nil {
+		t.Error("short b accepted")
+	}
+	if _, err := PCGJacobi(a, b, -1, 10); err == nil {
+		t.Error("negative tol accepted")
+	}
+	res, err := PCGJacobi(a, b, 1e-8, 10) // zero RHS fast path
+	if err != nil || !res.Converged {
+		t.Fatal("zero RHS should converge instantly")
+	}
+}
+
+func TestMulMatMatchesRepeatedMulVec(t *testing.T) {
+	a := sparse.Generate(sparse.Gen{Name: "m", Class: sparse.PatternRandom, N: 120, NNZTarget: 1400, Seed: 5})
+	const k = 3
+	x := make([]float64, k*a.Cols)
+	for i := range x {
+		x[i] = math.Cos(float64(i) * 0.3)
+	}
+	y := make([]float64, k*a.Rows)
+	if err := MulMat(a, y, x, k); err != nil {
+		t.Fatal(err)
+	}
+	single := make([]float64, a.Rows)
+	for v := 0; v < k; v++ {
+		a.MulVec(single, x[v*a.Cols:(v+1)*a.Cols])
+		for i := range single {
+			if math.Abs(y[v*a.Rows+i]-single[i]) > 1e-12*(1+math.Abs(single[i])) {
+				t.Fatalf("vector %d row %d: %v != %v", v, i, y[v*a.Rows+i], single[i])
+			}
+		}
+	}
+}
+
+func TestMulMatValidation(t *testing.T) {
+	a := sparse.Identity(4)
+	if err := MulMat(a, make([]float64, 4), make([]float64, 4), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := MulMat(a, make([]float64, 4), make([]float64, 7), 2); err == nil {
+		t.Error("wrong x size accepted")
+	}
+	if err := MulMat(a, make([]float64, 7), make([]float64, 8), 2); err == nil {
+		t.Error("wrong y size accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned fixed-width text tables - the output format of the
+// experiment harness (one table per regenerated paper figure/table).
+type Table struct {
+	title    string
+	preamble []string
+	headers  []string
+	rows     [][]string
+	notes    []string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// AddPreamble appends raw text printed verbatim between the title and the
+// header row - used for ASCII-art figures (chip floorplans, format
+// diagrams) that accompany a table.
+func (t *Table) AddPreamble(text string) *Table {
+	t.preamble = append(t.preamble, text)
+	return t
+}
+
+// AddNote appends a free-text footnote printed under the table.
+func (t *Table) AddNote(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// Rows returns the number of data rows added so far.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	for _, p := range t.preamble {
+		b.WriteString(p)
+		if !strings.HasSuffix(p, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the data as comma-separated values (header + rows), quoting
+// cells that contain commas or quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// formatFloat picks a compact human-friendly representation.
+func formatFloat(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a == 0:
+		return "0"
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace provides memory-trace analysis: LRU reuse-distance (stack
+// distance) profiles of access streams, and generators for the access
+// streams of the CSR SpMV kernel. The paper attributes the SCC's SpMV
+// behaviour to the locality of the irregular x accesses; reuse-distance
+// profiles quantify exactly that, independent of any particular cache
+// geometry: an access with stack distance d hits in a fully-associative LRU
+// cache of capacity > d and misses in a smaller one.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Infinite is the reuse distance of a cold (first) access.
+const Infinite = int64(math.MaxInt64)
+
+// ReuseAnalyzer computes LRU stack distances online in O(log n) per access
+// using a Fenwick tree over access timestamps.
+type ReuseAnalyzer struct {
+	bit      []int64
+	lastTime map[uint64]int
+	now      int
+	// hist[d] counts accesses with floor(log2(distance+1)) == d;
+	// cold accesses are counted separately.
+	hist [64]uint64
+	cold uint64
+	n    uint64
+	// maxCap tracks the largest finite distance seen.
+	maxDist int64
+}
+
+// NewReuseAnalyzer returns an analyzer sized for about capHint accesses
+// (it grows as needed).
+func NewReuseAnalyzer(capHint int) *ReuseAnalyzer {
+	if capHint < 16 {
+		capHint = 16
+	}
+	return &ReuseAnalyzer{
+		bit:      make([]int64, capHint+1),
+		lastTime: make(map[uint64]int, capHint/4),
+	}
+}
+
+// Touch records an access to the given key (typically a cache-line address)
+// and returns its LRU stack distance: the number of distinct keys accessed
+// since this key's previous access, or Infinite for a cold access.
+func (r *ReuseAnalyzer) Touch(key uint64) int64 {
+	r.now++
+	if r.now >= len(r.bit) {
+		grown := make([]int64, 2*len(r.bit))
+		// Rebuild the Fenwick tree from the raw marks.
+		marks := make([]bool, len(r.bit))
+		for t := 1; t < len(r.bit); t++ {
+			marks[t] = r.rangeSum(t, t) == 1
+		}
+		r.bit = grown
+		for t := 1; t < len(marks); t++ {
+			if marks[t] {
+				r.add(t, 1)
+			}
+		}
+	}
+	dist := Infinite
+	if prev, ok := r.lastTime[key]; ok {
+		dist = r.rangeSum(prev+1, r.now-1)
+		r.add(prev, -1)
+	}
+	r.add(r.now, 1)
+	r.lastTime[key] = r.now
+
+	r.n++
+	if dist == Infinite {
+		r.cold++
+	} else {
+		r.hist[log2bucket(dist)]++
+		if dist > r.maxDist {
+			r.maxDist = dist
+		}
+	}
+	return dist
+}
+
+func log2bucket(d int64) int {
+	b := 0
+	for v := d; v > 0; v >>= 1 {
+		b++
+	}
+	return b // distance 0 -> bucket 0, 1 -> 1, 2..3 -> 2, ...
+}
+
+// fenwick add/query (1-indexed).
+func (r *ReuseAnalyzer) add(i int, v int64) {
+	for ; i < len(r.bit); i += i & (-i) {
+		r.bit[i] += v
+	}
+}
+
+func (r *ReuseAnalyzer) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += r.bit[i]
+	}
+	return s
+}
+
+func (r *ReuseAnalyzer) rangeSum(lo, hi int) int64 {
+	if lo > hi {
+		return 0
+	}
+	return r.prefix(hi) - r.prefix(lo-1)
+}
+
+// Profile summarises the distances seen so far.
+type Profile struct {
+	// Accesses and Cold count total and first-touch accesses.
+	Accesses, Cold uint64
+	// Hist buckets finite distances by floor(log2): Hist[0] is distance
+	// 0, Hist[1] is 1, Hist[2] is 2-3, Hist[3] is 4-7, ...
+	Hist [64]uint64
+	// MaxDistance is the largest finite distance.
+	MaxDistance int64
+	// DistinctKeys is the number of distinct keys touched.
+	DistinctKeys int
+}
+
+// Profile returns a snapshot of the accumulated distance profile.
+func (r *ReuseAnalyzer) Profile() Profile {
+	return Profile{
+		Accesses:     r.n,
+		Cold:         r.cold,
+		Hist:         r.hist,
+		MaxDistance:  r.maxDist,
+		DistinctKeys: len(r.lastTime),
+	}
+}
+
+// HitRatioAtCapacity estimates the hit ratio of a fully-associative LRU
+// cache holding capacity keys: the fraction of accesses with distance <
+// capacity. Bucketing makes it approximate within a factor-of-two band
+// boundary; the bucket straddling the capacity is split proportionally.
+func (p Profile) HitRatioAtCapacity(capacity int64) float64 {
+	if p.Accesses == 0 || capacity <= 0 {
+		return 0
+	}
+	var hits float64
+	for b, c := range p.Hist {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketRange(b)
+		switch {
+		case hi < capacity:
+			hits += float64(c)
+		case lo >= capacity:
+			// all misses
+		default:
+			frac := float64(capacity-lo) / float64(hi-lo+1)
+			hits += float64(c) * frac
+		}
+	}
+	return hits / float64(p.Accesses)
+}
+
+// bucketRange returns the inclusive distance range of histogram bucket b.
+func bucketRange(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return int64(1) << (b - 1), int64(1)<<b - 1
+}
+
+// String implements fmt.Stringer with a compact profile summary.
+func (p Profile) String() string {
+	return fmt.Sprintf("accesses=%d cold=%d distinct=%d max=%d",
+		p.Accesses, p.Cold, p.DistinctKeys, p.MaxDistance)
+}
+
+// XLineTrace feeds the analyzer the cache-line trace of the SpMV x-vector
+// accesses for the given matrix and line size: the exact irregular stream
+// the paper's Section IV-C isolates. It returns the resulting profile.
+func XLineTrace(a *sparse.CSR, lineBytes int) Profile {
+	if lineBytes <= 0 {
+		panic("trace: non-positive line size")
+	}
+	r := NewReuseAnalyzer(a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			addr := uint64(a.Index[k]) * 8 // float64 x entries
+			r.Touch(addr / uint64(lineBytes))
+		}
+	}
+	return r.Profile()
+}
+
+// StreamLineTrace profiles the unit-stride val/index streams (mostly for
+// contrast with XLineTrace: streams have no reuse beyond the line).
+func StreamLineTrace(a *sparse.CSR, lineBytes int) Profile {
+	if lineBytes <= 0 {
+		panic("trace: non-positive line size")
+	}
+	r := NewReuseAnalyzer(a.NNZ())
+	for k := 0; k < a.NNZ(); k++ {
+		r.Touch(uint64(k) * 8 / uint64(lineBytes)) // val stream
+	}
+	return r.Profile()
+}

@@ -1,0 +1,120 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// Power capping: the natural extension of the paper's Section IV-D. Given a
+// watt budget, pick the chip configuration (tile clock x mesh clock x
+// memory clock) that maximises SpMV throughput without exceeding the
+// budget, and expose the whole performance/power Pareto frontier.
+
+// ConfigPoint is one evaluated chip configuration.
+type ConfigPoint struct {
+	Config scc.ClockConfig
+	// MFLOPS is the simulated throughput of the workload.
+	MFLOPS float64
+	// Watts is the modelled full-system power.
+	Watts float64
+}
+
+// EfficiencyMFLOPSPerWatt returns the point's MFLOPS/W.
+func (p ConfigPoint) EfficiencyMFLOPSPerWatt() float64 {
+	if p.Watts <= 0 {
+		return 0
+	}
+	return p.MFLOPS / p.Watts
+}
+
+// tileClockGrid is the evaluated subset of the SCC's 100-800 MHz range.
+var tileClockGrid = []int{100, 200, 320, 400, 533, 640, 800}
+
+// SweepConfigs simulates the workload (matrix at the given core count)
+// under every combination of tile clock grid x {800,1600} mesh x
+// {800,1066} memory and returns the points sorted by watts ascending.
+func SweepConfigs(a *sparse.CSR, cores int) ([]ConfigPoint, error) {
+	if cores <= 0 || cores > scc.NumCores {
+		return nil, fmt.Errorf("tune: %d cores outside [1, %d]", cores, scc.NumCores)
+	}
+	mapping := scc.DistanceReductionMapping(cores)
+	var points []ConfigPoint
+	for _, coreMHz := range tileClockGrid {
+		for _, meshMHz := range []int{800, 1600} {
+			for _, memMHz := range []int{800, 1066} {
+				cc := scc.ClockConfig{CoreMHz: coreMHz, MeshMHz: meshMHz, MemMHz: memMHz}
+				m := sim.NewMachine(cc)
+				r, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping})
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, ConfigPoint{
+					Config: cc,
+					MFLOPS: r.MFLOPS,
+					Watts:  scc.ConfigPower(cc),
+				})
+			}
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Watts < points[j].Watts })
+	return points, nil
+}
+
+// BestUnderBudget returns the highest-throughput configuration whose
+// modelled power stays within budgetWatts, or an error when even the
+// slowest configuration exceeds it.
+func BestUnderBudget(points []ConfigPoint, budgetWatts float64) (ConfigPoint, error) {
+	best := ConfigPoint{}
+	found := false
+	for _, p := range points {
+		if p.Watts > budgetWatts {
+			continue
+		}
+		if !found || p.MFLOPS > best.MFLOPS {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return ConfigPoint{}, fmt.Errorf("tune: no configuration fits %.1f W (minimum is %.1f W)",
+			budgetWatts, minWatts(points))
+	}
+	return best, nil
+}
+
+// ParetoFrontier filters the points to the performance/power frontier:
+// a point survives when no other point is both cheaper (or equal) and
+// faster. The result is sorted by watts ascending, MFLOPS strictly
+// increasing.
+func ParetoFrontier(points []ConfigPoint) []ConfigPoint {
+	sorted := append([]ConfigPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Watts != sorted[j].Watts {
+			return sorted[i].Watts < sorted[j].Watts
+		}
+		return sorted[i].MFLOPS > sorted[j].MFLOPS
+	})
+	var out []ConfigPoint
+	bestSoFar := -1.0
+	for _, p := range sorted {
+		if p.MFLOPS > bestSoFar {
+			out = append(out, p)
+			bestSoFar = p.MFLOPS
+		}
+	}
+	return out
+}
+
+func minWatts(points []ConfigPoint) float64 {
+	m := -1.0
+	for _, p := range points {
+		if m < 0 || p.Watts < m {
+			m = p.Watts
+		}
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func sweepFixture(t *testing.T) []ConfigPoint {
+	t.Helper()
+	a := sparse.Generate(sparse.Gen{
+		Name: "pc", Class: sparse.PatternStencil3D, N: 8000, NNZTarget: 160000, Seed: 30,
+	})
+	points, err := SweepConfigs(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestSweepConfigsCoversGrid(t *testing.T) {
+	points := sweepFixture(t)
+	if len(points) != len(tileClockGrid)*4 {
+		t.Fatalf("points = %d, want %d", len(points), len(tileClockGrid)*4)
+	}
+	// Sorted by watts; all positive.
+	prev := 0.0
+	for _, p := range points {
+		if p.Watts < prev {
+			t.Fatal("points not sorted by watts")
+		}
+		if p.MFLOPS <= 0 || p.Watts <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		prev = p.Watts
+	}
+}
+
+func TestSweepConfigsValidation(t *testing.T) {
+	a := sparse.Identity(16)
+	if _, err := SweepConfigs(a, 0); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := SweepConfigs(a, 49); err == nil {
+		t.Error("49 cores accepted")
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	points := sweepFixture(t)
+	// A generous budget admits the fastest configuration overall.
+	best, err := BestUnderBudget(points, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.MFLOPS > best.MFLOPS {
+			t.Fatalf("budget 1000 W should admit the global best (%+v beats %+v)", p, best)
+		}
+	}
+	// A tight budget forces a slower configuration.
+	tight, err := BestUnderBudget(points, points[0].Watts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Watts > points[0].Watts+1 {
+		t.Fatalf("budget violated: %+v", tight)
+	}
+	if tight.MFLOPS > best.MFLOPS {
+		t.Fatal("tight budget cannot beat the unconstrained best")
+	}
+	// An impossible budget errors.
+	if _, err := BestUnderBudget(points, 1); err == nil {
+		t.Fatal("1 W budget accepted")
+	}
+}
+
+func TestBudgetMonotonicity(t *testing.T) {
+	points := sweepFixture(t)
+	prev := -1.0
+	for _, budget := range []float64{65, 75, 85, 95, 105, 120} {
+		best, err := BestUnderBudget(points, budget)
+		if err != nil {
+			continue // below the floor
+		}
+		if best.MFLOPS < prev {
+			t.Fatalf("more budget, less performance at %.0f W", budget)
+		}
+		prev = best.MFLOPS
+	}
+	if prev < 0 {
+		t.Fatal("no budget admitted any configuration")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	points := sweepFixture(t)
+	front := ParetoFrontier(points)
+	if len(front) == 0 || len(front) > len(points) {
+		t.Fatalf("frontier size %d", len(front))
+	}
+	// Strictly increasing in both axes.
+	for i := 1; i < len(front); i++ {
+		if front[i].Watts < front[i-1].Watts || front[i].MFLOPS <= front[i-1].MFLOPS {
+			t.Fatalf("frontier not monotone at %d: %+v after %+v", i, front[i], front[i-1])
+		}
+	}
+	// No point dominates a frontier point.
+	for _, f := range front {
+		for _, p := range points {
+			if p.Watts <= f.Watts && p.MFLOPS > f.MFLOPS {
+				t.Fatalf("%+v dominates frontier point %+v", p, f)
+			}
+		}
+	}
+}
+
+func TestConfigPointEfficiency(t *testing.T) {
+	p := ConfigPoint{MFLOPS: 500, Watts: 100}
+	if p.EfficiencyMFLOPSPerWatt() != 5 {
+		t.Fatal("efficiency arithmetic")
+	}
+	if (ConfigPoint{}).EfficiencyMFLOPSPerWatt() != 0 {
+		t.Fatal("zero watts must not divide")
+	}
+}
+
+func TestPaperConfigsOnTheFrontierNeighborhood(t *testing.T) {
+	// conf0's clocks must be within the sweep's wattage span, and the
+	// frontier must include a point at or above conf1's performance for
+	// conf1-level power.
+	points := sweepFixture(t)
+	p0 := scc.ConfigPower(scc.Conf0)
+	if p0 < points[0].Watts || p0 > points[len(points)-1].Watts {
+		t.Fatalf("conf0 power %.1f outside sweep span [%.1f, %.1f]",
+			p0, points[0].Watts, points[len(points)-1].Watts)
+	}
+}

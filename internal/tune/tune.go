@@ -1,0 +1,170 @@
+// Package tune is an offline autotuner built on the simulator: for a given
+// matrix and core count it evaluates the storage formats and partitioning
+// schemes the library implements and recommends the fastest combination.
+// It operationalises the paper's concluding "guidelines for understanding
+// and optimisation of the SpMV kernel on this architecture".
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/partition"
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	// Format names the storage format ("csr", "ell", "bcsr2x2").
+	Format string
+	// Scheme is the partitioning scheme (CSR only; fixed splits
+	// otherwise).
+	Scheme partition.Scheme
+	// MFLOPS is the simulated throughput (useful flops).
+	MFLOPS float64
+	// Note carries disqualification or normalisation remarks.
+	Note string
+}
+
+// Result is the autotuner's report.
+type Result struct {
+	Matrix string
+	Cores  int
+	// Best is the winning candidate.
+	Best Candidate
+	// Candidates lists every evaluated configuration, fastest first.
+	Candidates []Candidate
+	// MappingGain is the distance-reduction speedup over the standard
+	// mapping for the winning format.
+	MappingGain float64
+	// XBound reports whether the no-x-miss probe ran >=25% faster -
+	// the paper's signal that locality optimisation (reordering,
+	// blocking) is where the time is.
+	XBound bool
+}
+
+// Tune evaluates the candidate space for a matrix at the given core count
+// on the machine configuration cc.
+func Tune(a *sparse.CSR, cores int, cc scc.ClockConfig) (*Result, error) {
+	if cores <= 0 || cores > scc.NumCores {
+		return nil, fmt.Errorf("tune: %d cores outside [1, %d]", cores, scc.NumCores)
+	}
+	m := sim.NewMachine(cc)
+	mapping := scc.DistanceReductionMapping(cores)
+	res := &Result{Matrix: a.Name, Cores: cores}
+
+	// CSR with each partitioning scheme.
+	for _, s := range []partition.Scheme{partition.SchemeByNNZ, partition.SchemeByRows, partition.SchemeCyclic} {
+		r, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping, Scheme: s})
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Format: "csr", Scheme: s, MFLOPS: r.MFLOPS,
+		})
+	}
+
+	// ELLPACK, when padding is tolerable.
+	if ell, err := sparse.ToELL(a, 3); err == nil {
+		r, err := m.RunELL(ell, cores)
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Format: "ell", Scheme: partition.SchemeByRows, MFLOPS: r.MFLOPS,
+		})
+	} else {
+		res.Candidates = append(res.Candidates, Candidate{
+			Format: "ell", Scheme: partition.SchemeByRows,
+			Note: "disqualified: " + err.Error(),
+		})
+	}
+
+	// DIA, when the diagonal count is tolerable.
+	if d, err := sparse.ToDIA(a, 512); err == nil {
+		r, err := m.RunDIA(d, cores)
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Format: "dia", Scheme: partition.SchemeByRows, MFLOPS: r.MFLOPS,
+			Note: fmt.Sprintf("%d diagonals", len(d.Offsets)),
+		})
+	} else {
+		res.Candidates = append(res.Candidates, Candidate{
+			Format: "dia", Scheme: partition.SchemeByRows,
+			Note: "disqualified: " + err.Error(),
+		})
+	}
+
+	// HYB at the 2/3 quantile.
+	if hyb, err := sparse.ToHYB(a, 0.66); err == nil {
+		r, err := m.RunHYB(hyb, cores)
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Format: "hyb", Scheme: partition.SchemeByRows, MFLOPS: r.MFLOPS,
+			Note: fmt.Sprintf("tail %.0f%%", 100*hyb.TailFraction()),
+		})
+	}
+
+	// Blocked CSR 2x2, normalised to useful flops.
+	b := sparse.ToBCSR(a, 2, 2)
+	rb, err := m.RunBCSR(b, cores)
+	if err != nil {
+		return nil, err
+	}
+	fill := b.FillRatio(a.NNZ())
+	res.Candidates = append(res.Candidates, Candidate{
+		Format: "bcsr2x2", Scheme: partition.SchemeByRows,
+		MFLOPS: rb.MFLOPS / fill,
+		Note:   fmt.Sprintf("fill %.2f", fill),
+	})
+
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		return res.Candidates[i].MFLOPS > res.Candidates[j].MFLOPS
+	})
+	res.Best = res.Candidates[0]
+	if res.Best.MFLOPS == 0 {
+		return nil, fmt.Errorf("tune: no viable candidate for %s", a.Name)
+	}
+
+	// Diagnostics: mapping gain and x-boundedness.
+	std, err := m.RunSpMV(a, nil, sim.Options{Mapping: scc.StandardMapping(cores)})
+	if err != nil {
+		return nil, err
+	}
+	dr, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping})
+	if err != nil {
+		return nil, err
+	}
+	res.MappingGain = dr.MFLOPS / std.MFLOPS
+	nox, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping, Variant: sim.KernelNoXMiss})
+	if err != nil {
+		return nil, err
+	}
+	res.XBound = nox.MFLOPS >= 1.25*dr.MFLOPS
+	return res, nil
+}
+
+// Guidelines renders the paper-style advice derived from a tuning result.
+func (r *Result) Guidelines() []string {
+	var out []string
+	out = append(out, fmt.Sprintf("use %s storage with the %s partition (%.0f MFLOPS at %d cores)",
+		r.Best.Format, r.Best.Scheme, r.Best.MFLOPS, r.Cores))
+	if r.MappingGain > 1.02 {
+		out = append(out, fmt.Sprintf("map UEs to cores near their memory controller (%.0f%% gain)",
+			100*(r.MappingGain-1)))
+	} else {
+		out = append(out, "placement is not critical for this matrix at this scale")
+	}
+	if r.XBound {
+		out = append(out, "the kernel is bound by irregular x accesses: consider reordering (RCM) or cache blocking")
+	} else {
+		out = append(out, "x accesses are not the bottleneck; bandwidth/loop overheads dominate")
+	}
+	return out
+}

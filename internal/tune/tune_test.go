@@ -1,0 +1,109 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func TestTuneRegularMatrix(t *testing.T) {
+	a := sparse.Generate(sparse.Gen{Name: "reg", Class: sparse.PatternStencil2D, N: 6000, NNZTarget: 60000, Seed: 1})
+	r, err := Tune(a, 8, scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Best.MFLOPS <= 0 {
+		t.Fatal("no winner")
+	}
+	// Candidates sorted descending.
+	for i := 1; i < len(r.Candidates); i++ {
+		if r.Candidates[i].MFLOPS > r.Candidates[i-1].MFLOPS {
+			t.Fatal("candidates not sorted")
+		}
+	}
+	// CSR bynnz must be among the evaluated candidates.
+	found := false
+	for _, c := range r.Candidates {
+		if c.Format == "csr" && c.Scheme == partition.SchemeByNNZ {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("csr/bynnz missing from the candidate list")
+	}
+	if r.MappingGain < 0.9 {
+		t.Fatalf("mapping gain %.2f nonsensical", r.MappingGain)
+	}
+}
+
+func TestTuneIrregularMatrixIsXBound(t *testing.T) {
+	a := sparse.Generate(sparse.Gen{Name: "irr", Class: sparse.PatternRandom, N: 20000, NNZTarget: 500000, Seed: 2})
+	r, err := Tune(a, 8, scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.XBound {
+		t.Fatal("random matrix not flagged as x-bound")
+	}
+	g := r.Guidelines()
+	joined := strings.Join(g, "\n")
+	if !strings.Contains(joined, "reordering") {
+		t.Fatalf("guidelines missing locality advice:\n%s", joined)
+	}
+}
+
+func TestTuneLocalMatrixNotXBound(t *testing.T) {
+	a := sparse.Generate(sparse.Gen{Name: "loc", Class: sparse.PatternBanded, N: 6000, NNZTarget: 90000, Bandwidth: 32, Seed: 3})
+	r, err := Tune(a, 8, scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.XBound {
+		t.Fatal("banded matrix flagged as x-bound")
+	}
+	joined := strings.Join(r.Guidelines(), "\n")
+	if !strings.Contains(joined, "not the bottleneck") {
+		t.Fatalf("guidelines wrong:\n%s", joined)
+	}
+}
+
+func TestTuneDisqualifiesELLOnHeavyTail(t *testing.T) {
+	a := sparse.Generate(sparse.Gen{Name: "pl", Class: sparse.PatternPowerLaw, N: 8000, NNZTarget: 60000, Seed: 4})
+	st := sparse.ComputeStats(a)
+	if float64(st.MaxRow) < 3*st.NNZPerRow {
+		t.Skip("no heavy tail at this size")
+	}
+	r, err := Tune(a, 8, scc.Conf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Candidates {
+		if c.Format == "ell" && c.MFLOPS == 0 && !strings.Contains(c.Note, "disqualified") {
+			t.Fatalf("ELL zero-score without disqualification note: %+v", c)
+		}
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	a := sparse.Identity(8)
+	if _, err := Tune(a, 0, scc.Conf0); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := Tune(a, 49, scc.Conf0); err == nil {
+		t.Error("49 cores accepted")
+	}
+}
+
+func TestGuidelinesAlwaysThreeLines(t *testing.T) {
+	a := sparse.Laplacian2D(60)
+	r, err := Tune(a, 4, scc.Conf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Guidelines(); len(g) != 3 {
+		t.Fatalf("guidelines = %d lines: %v", len(g), g)
+	}
+}
