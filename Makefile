@@ -1,0 +1,38 @@
+# Standard-library-only Go repo: every target is a thin wrapper over the
+# go tool so CI and humans run the same commands.
+
+GO ?= go
+
+.PHONY: all build check test race bench perf clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# check is the tier-1 gate: vet plus the full test suite.
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the race detector over the packages with host concurrency:
+# the parallel simulation engine, the experiment pipelines, and the
+# goroutine-backed RCCE runtime and kernels.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# perf times the serial vs parallel engine on a full fig9 sweep and writes
+# the BENCH_fig9.json record.
+perf:
+	$(GO) run ./cmd/sccsim -exp bench -benchexp fig9
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_*.json cpu.pprof mem.pprof

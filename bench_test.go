@@ -225,6 +225,44 @@ func BenchmarkAblationWarmup(b *testing.B) {
 	}
 }
 
+// --- Engine benchmarks: serial reference vs host-parallel ---
+
+// benchEngine times one full fig9 sweep per iteration and reports the
+// engine's headline throughput: simulated GFLOP/s (2*nnz of useful kernel
+// work per simulated Result) and matrices/s. parallelism 1 is the serial
+// reference engine with memoisation disabled - the seed behaviour.
+func benchEngine(b *testing.B, parallelism int) {
+	b.Helper()
+	e, ok := experiments.ByID("fig9")
+	if !ok {
+		b.Fatal("fig9 not registered")
+	}
+	cfg := experiments.QuickConfig()
+	cfg.Parallelism = parallelism
+	if parallelism == 1 {
+		cfg.Sequential = true
+		cfg.MatrixCache = sparse.NewMatrixCache(0)
+	} else {
+		cfg.MatrixCache = sparse.NewMatrixCache(experiments.DefaultMatrixCacheBytes)
+	}
+	flops0 := sim.SimulatedFLOPs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		gflop := float64(sim.SimulatedFLOPs()-flops0) / 1e9
+		b.ReportMetric(gflop/sec, "sim_GFLOP/s")
+		b.ReportMetric(float64(cfg.MatrixCount()*b.N)/sec, "matrices/s")
+	}
+}
+
+func BenchmarkEngineFig9Serial(b *testing.B)   { benchEngine(b, 1) }
+func BenchmarkEngineFig9Parallel(b *testing.B) { benchEngine(b, 0) }
+
 // --- Micro-benchmarks of the substrates ---
 
 var benchMatrix = sparse.Generate(sparse.Gen{

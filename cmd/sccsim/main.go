@@ -6,33 +6,51 @@
 //	sccsim -list
 //	sccsim -exp fig5 [-scale 0.25] [-stride 1] [-max 0] [-csv]
 //	sccsim -exp all  [-scale 0.25]
+//	sccsim -exp bench [-benchexp fig9] [-json]
 //
 // -scale 1.0 reproduces the paper's matrix sizes (slow: the full testbed
 // holds ~95M nonzeros); the default quarter scale preserves every
 // qualitative relationship and finishes in minutes.
+//
+// The engine is host-parallel and deterministic: -parallel 1 forces the
+// serial reference path with bit-identical output. -exp bench times the
+// serial and parallel engines on one experiment and writes a
+// machine-readable BENCH_<exp>.json perf record. -cpuprofile/-memprofile
+// capture pprof profiles of whatever the invocation runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sparse"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		expID  = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale  = flag.Float64("scale", 0.25, "testbed scale factor in (0, 1]; 1.0 = paper sizes")
-		stride = flag.Int("stride", 1, "keep every stride-th testbed matrix")
-		max    = flag.Int("max", 0, "use only the first N selected matrices (0 = all)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		outDir = flag.String("outdir", "", "also write each experiment's tables to <outdir>/<id>.txt and .csv")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		expID      = flag.String("exp", "", "experiment id to run, \"all\", or \"bench\"")
+		scale      = flag.Float64("scale", 0.25, "testbed scale factor in (0, 1]; 1.0 = paper sizes")
+		stride     = flag.Int("stride", 1, "keep every stride-th testbed matrix")
+		max        = flag.Int("max", 0, "use only the first N selected matrices (0 = all)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir     = flag.String("outdir", "", "also write each experiment's tables to <outdir>/<id>.txt and .csv")
+		parallel   = flag.Int("parallel", 0, "host worker pool size: 0 = GOMAXPROCS, 1 = serial reference engine")
+		sequential = flag.Bool("sequential", false, "seed-equivalent engine: no pools, no shared sweep walks (determinism oracle)")
+		cacheMB    = flag.Int64("cachemb", experiments.DefaultMatrixCacheBytes>>20, "generated-matrix cache budget in MiB (0 disables memoisation)")
+		benchExp   = flag.String("benchexp", "fig9", "experiment the bench harness times (with -exp bench)")
+		jsonOut    = flag.Bool("json", false, "with -exp bench: also print the perf record as JSON on stdout")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,7 +65,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Stride: *stride, MaxMatrices: *max}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("creating %s: %v", *cpuProfile, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("creating %s: %v", *memProfile, err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("writing heap profile: %v", err)
+		}
+	}()
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Stride:      *stride,
+		MaxMatrices: *max,
+		Parallelism: *parallel,
+		Sequential:  *sequential,
+		MatrixCache: sparse.NewMatrixCache(*cacheMB << 20),
+	}
+
+	if *expID == "bench" {
+		runBench(cfg, *benchExp, *outDir, *jsonOut)
+		return
+	}
+
 	var toRun []experiments.Experiment
 	if *expID == "all" {
 		toRun = experiments.All()
@@ -64,8 +121,7 @@ func main() {
 		start := time.Now()
 		tables, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sccsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fatalf("%s: %v", e.ID, err)
 		}
 		fmt.Printf("== %s: %s  (scale %g, %v)\n\n", e.ID, e.Title, *scale, time.Since(start).Round(time.Millisecond))
 		for _, t := range tables {
@@ -77,11 +133,51 @@ func main() {
 		}
 		if *outDir != "" {
 			if err := writeTables(*outDir, e.ID, tables); err != nil {
-				fmt.Fprintf(os.Stderr, "sccsim: writing %s: %v\n", e.ID, err)
-				os.Exit(1)
+				fatalf("writing %s: %v", e.ID, err)
 			}
 		}
 	}
+}
+
+// runBench times the serial vs parallel engine on one experiment and
+// persists the BENCH_<exp>.json perf record (in outDir when given, else
+// the working directory).
+func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) {
+	rec, err := experiments.Bench(cfg, id)
+	if err != nil {
+		fatalf("bench: %v", err)
+	}
+	fmt.Printf("== bench %s (scale %g, %d matrices, GOMAXPROCS %d)\n",
+		rec.Experiment, rec.Scale, rec.Matrices, rec.GoMaxProcs)
+	fmt.Printf("serial engine:   %8.2fs\n", rec.SerialSec)
+	fmt.Printf("parallel engine: %8.2fs  (speedup %.2fx)\n", rec.ParallelSec, rec.Speedup)
+	fmt.Printf("throughput: %.1f simulated MFLOP/s, %.2f matrices/s (cache: %d hits, %d misses, %d evictions)\n",
+		1e3*rec.SimulatedGFLOPS, rec.MatricesPerSec, rec.CacheHits, rec.CacheMisses, rec.CacheEvictions)
+
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatalf("bench: %v", err)
+	}
+	blob = append(blob, '\n')
+	if jsonOut {
+		os.Stdout.Write(blob)
+	}
+	dir := outDir
+	if dir == "" {
+		dir = "."
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("bench: %v", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatalf("bench: %v", err)
+	}
+	fmt.Printf("perf record written to %s\n", path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sccsim: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 // writeTables persists an experiment's tables as <outdir>/<id>.txt (aligned)

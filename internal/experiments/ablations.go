@@ -186,14 +186,14 @@ func runAblationWarmup(cfg Config) ([]*stats.Table, error) {
 	}
 	m := sim.NewMachine(scc.Conf0)
 	mapping := scc.DistanceReductionMapping(24)
-	warm, err := cfg.meanMFLOPS(m, sim.Options{Mapping: mapping})
+	means, err := cfg.gridMeans([]sweepCell{
+		oneMachine(m, sim.Options{Mapping: mapping}),
+		oneMachine(m, sim.Options{Mapping: mapping, ColdCache: true}),
+	})
 	if err != nil {
 		return nil, err
 	}
-	cold, err := cfg.meanMFLOPS(m, sim.Options{Mapping: mapping, ColdCache: true})
-	if err != nil {
-		return nil, err
-	}
+	warm, cold := means[0][0], means[1][0]
 	t := stats.NewTable(
 		"Ablation - measurement mode (24 cores, conf0, avg MFLOPS)",
 		"mode", "avg MFLOPS",
@@ -220,15 +220,16 @@ func runAblationPrefetch(cfg Config) ([]*stats.Table, error) {
 		"Ablation - next-line prefetch (24 cores, conf0, MFLOPS)",
 		"#", "matrix", "baseline", "prefetch", "speedup",
 	)
+	cells := []sweepCell{
+		oneMachine(plain, sim.Options{Mapping: mapping}),
+		oneMachine(pf, sim.Options{Mapping: mapping}),
+	}
 	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-		rp, err := plain.RunSpMV(a, nil, sim.Options{Mapping: mapping})
+		rs, err := cfg.runGrid(a, cells)
 		if err != nil {
 			return err
 		}
-		rf, err := pf.RunSpMV(a, nil, sim.Options{Mapping: mapping})
-		if err != nil {
-			return err
-		}
+		rp, rf := rs[0][0], rs[1][0]
 		t.AddRow(e.ID, e.Name, rp.MFLOPS, rf.MFLOPS, rf.MFLOPS/rp.MFLOPS)
 		return nil
 	})

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// BenchRecord is the machine-readable perf record `sccsim -exp bench`
+// emits (BENCH_<experiment>.json) so the engine's throughput trajectory
+// can be tracked across commits.
+type BenchRecord struct {
+	// Experiment identifies the benchmarked sweep and Scale/Stride/
+	// MaxMatrices its testbed subset.
+	Experiment  string  `json:"experiment"`
+	Scale       float64 `json:"scale"`
+	Stride      int     `json:"stride,omitempty"`
+	MaxMatrices int     `json:"max_matrices,omitempty"`
+	// GoMaxProcs records the host parallelism available to the run and
+	// Parallelism the pool bound the parallel leg used (0 = GOMAXPROCS).
+	GoMaxProcs  int `json:"gomaxprocs"`
+	Parallelism int `json:"parallelism"`
+	// SerialSec is the wall clock of the seed-equivalent reference leg
+	// (Sequential: no pools, no shared sweep walks, zero-budget matrix
+	// cache); ParallelSec the wall clock of the configured engine
+	// (worker pools + matrix cache + shared-sweep walks). Speedup is
+	// their ratio.
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+	// Matrices is the subset size; MatrixVisits counts matrix fetches
+	// the parallel leg performed (visits/sec measures harness
+	// throughput including cache effects).
+	Matrices       int     `json:"matrices"`
+	MatrixVisits   uint64  `json:"matrix_visits"`
+	MatricesPerSec float64 `json:"matrices_per_sec"`
+	// SimulatedGFLOP is the useful simulated-kernel work the parallel
+	// leg delivered (2·nnz per simulated Result, in GFLOP) and
+	// SimulatedGFLOPS that work divided by wall clock - the engine's
+	// headline throughput metric.
+	SimulatedGFLOP  float64 `json:"simulated_gflop"`
+	SimulatedGFLOPS float64 `json:"simulated_gflops"`
+	// Matrix-cache effectiveness during the parallel leg.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	UnixTime       int64  `json:"unix_time"`
+}
+
+// Bench measures one experiment twice - once on the serial reference
+// engine and once on the configured parallel engine - and returns the perf
+// record. The two legs produce identical tables (the determinism tests
+// prove it); only the wall clock differs.
+func Bench(cfg Config, id string) (*BenchRecord, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+
+	run := func(c Config) (float64, error) {
+		start := time.Now()
+		_, err := e.Run(c)
+		return time.Since(start).Seconds(), err
+	}
+
+	// Seed-equivalent reference leg: single-threaded, no shared sweep
+	// walks, no matrix memoisation - what the pre-parallel engine did.
+	serialCfg := cfg
+	serialCfg.Sequential = true
+	serialCfg.Parallelism = 1
+	serialCfg.MatrixCache = sparse.NewMatrixCache(0)
+	serialSec, err := run(serialCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	parCfg := cfg
+	if parCfg.MatrixCache == nil {
+		// A private cache isolates the measured leg from earlier runs in
+		// the same process.
+		parCfg.MatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+	}
+	cacheBefore := parCfg.MatrixCache.Stats()
+	flopsBefore := sim.SimulatedFLOPs()
+	parSec, err := run(parCfg)
+	if err != nil {
+		return nil, err
+	}
+	cacheAfter := parCfg.MatrixCache.Stats()
+	gflop := float64(sim.SimulatedFLOPs()-flopsBefore) / 1e9
+	visits := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Misses - cacheBefore.Misses)
+
+	rec := &BenchRecord{
+		Experiment:     id,
+		Scale:          cfg.Scale,
+		Stride:         cfg.Stride,
+		MaxMatrices:    cfg.MaxMatrices,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Parallelism:    cfg.Parallelism,
+		SerialSec:      serialSec,
+		ParallelSec:    parSec,
+		Matrices:       cfg.MatrixCount(),
+		MatrixVisits:   visits,
+		SimulatedGFLOP: gflop,
+		CacheHits:      cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:    cacheAfter.Misses - cacheBefore.Misses,
+		CacheEvictions: cacheAfter.Evictions - cacheBefore.Evictions,
+		UnixTime:       time.Now().Unix(),
+	}
+	if parSec > 0 {
+		rec.Speedup = serialSec / parSec
+		rec.MatricesPerSec = float64(visits) / parSec
+		rec.SimulatedGFLOPS = gflop / parSec
+	}
+	return rec, nil
+}

@@ -3,18 +3,27 @@
 // experiment is a named, self-contained function from a Config to one or
 // more rendered tables; cmd/sccsim and the repository benchmarks drive the
 // same registry.
+//
+// The engine behind the experiments is host-parallel: independent
+// (matrix, configuration) simulation cells fan out over a bounded worker
+// pool, generated testbed matrices are memoised in a byte-budgeted LRU
+// cache, and clock-configuration sweeps share one cache walk per matrix
+// (sim.RunSpMVSweep). All of it is bit-deterministic; Parallelism: 1 with
+// a zero-budget cache reproduces the serial reference path exactly.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/stats"
 )
 
-// Config controls experiment scale.
+// Config controls experiment scale and engine resources.
 type Config struct {
 	// Scale shrinks every testbed matrix (rows and nonzeros) by this
 	// factor in (0, 1]. 1.0 reproduces the paper's sizes; the default
@@ -28,7 +37,31 @@ type Config struct {
 	// composing with MaxMatrices. It preserves the ws spread while
 	// cutting cost.
 	Stride int
+	// Parallelism bounds the host worker pool that runs independent
+	// simulation cells concurrently, and is inherited by each
+	// simulation's per-UE pool: 0 uses GOMAXPROCS, 1 forces the fully
+	// serial reference path. Results are identical at every setting.
+	Parallelism int
+	// Sequential forces the seed-equivalent reference engine: no worker
+	// pools, no shared sweep walks (each machine of a sweep cell is
+	// priced by its own full cache walk). Combined with a zero-budget
+	// MatrixCache it reproduces exactly what the pre-parallel engine
+	// computed per run - the determinism oracle and the baseline the
+	// bench harness times. Output is bit-identical either way.
+	Sequential bool
+	// MatrixCache overrides the shared generated-matrix cache. nil uses
+	// a package-wide cache with DefaultMatrixCacheBytes of budget; a
+	// zero-budget cache disables memoisation.
+	MatrixCache *sparse.MatrixCache
 }
+
+// DefaultMatrixCacheBytes bounds the shared generated-matrix cache: large
+// enough to keep the default quarter-scale testbed (~320 MB of CSR data)
+// fully resident, small enough that a full-scale (Scale=1) suite, which
+// would need ~1.2 GB, is held partially and streamed via LRU eviction.
+const DefaultMatrixCacheBytes = 1 << 30
+
+var sharedMatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
 
 // DefaultConfig returns the standard configuration (quarter scale, full
 // testbed).
@@ -46,6 +79,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxMatrices < 0 || c.Stride < 0 {
 		return fmt.Errorf("experiments: negative subset parameters")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: negative parallelism")
 	}
 	return nil
 }
@@ -67,12 +103,51 @@ func (c Config) entries() []sparse.TestbedEntry {
 	return out
 }
 
-// forEachMatrix generates each selected matrix at the configured scale,
-// invokes fn, and releases the matrix before the next one (the full-scale
-// testbed would not fit in memory all at once).
+// MatrixCount returns the number of testbed matrices the configuration
+// selects (benchmark observability).
+func (c Config) MatrixCount() int { return len(c.entries()) }
+
+// matrixCache resolves the cache the configuration uses.
+func (c Config) matrixCache() *sparse.MatrixCache {
+	if c.MatrixCache != nil {
+		return c.MatrixCache
+	}
+	return sharedMatrixCache
+}
+
+// workers resolves the Parallelism knob to a pool size.
+func (c Config) workers() int {
+	if c.Sequential {
+		return 1
+	}
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// simOptions threads the engine parallelism into a cell's sim options
+// unless the cell pinned its own.
+func (c Config) simOptions(o sim.Options) sim.Options {
+	if c.Sequential {
+		o.Parallelism = 1
+		return o
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = c.Parallelism
+	}
+	return o
+}
+
+// forEachMatrix fetches each selected matrix at the configured scale
+// (generating on a cache miss), invokes fn, and lets the LRU budget decide
+// what stays resident before the next one (the full-scale testbed would
+// not fit in memory all at once). Matrices handed to fn are shared and
+// must be treated as read-only.
 func (c Config) forEachMatrix(fn func(e sparse.TestbedEntry, a *sparse.CSR) error) error {
+	cache := c.matrixCache()
 	for _, e := range c.entries() {
-		a := e.GenerateScaled(c.Scale)
+		a := cache.Get(e, c.Scale)
 		if err := fn(e, a); err != nil {
 			return fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
 		}
@@ -80,22 +155,127 @@ func (c Config) forEachMatrix(fn func(e sparse.TestbedEntry, a *sparse.CSR) erro
 	return nil
 }
 
-// meanMFLOPS runs one simulator configuration across the subset and
-// averages MFLOPS (the paper reports arithmetic means across the suite).
-func (c Config) meanMFLOPS(m *sim.Machine, opts sim.Options) (float64, error) {
-	var vals []float64
-	err := c.forEachMatrix(func(_ sparse.TestbedEntry, a *sparse.CSR) error {
-		r, err := m.RunSpMV(a, nil, opts)
-		if err != nil {
-			return err
+// A sweepCell is one simulator configuration of an experiment grid: a set
+// of machines differing only in clock domains (simulated with one shared
+// cache walk) and the run options. Most cells sweep a single machine.
+type sweepCell struct {
+	machines []*sim.Machine
+	opts     sim.Options
+}
+
+func oneMachine(m *sim.Machine, opts sim.Options) sweepCell {
+	return sweepCell{machines: []*sim.Machine{m}, opts: opts}
+}
+
+// runGrid simulates every cell on matrix a, fanning independent cells out
+// over the host pool. results[ci][j] is cell ci under the cell's machine
+// j, bit-identical to serial individual runs regardless of pool size.
+func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, error) {
+	if c.Sequential {
+		// Seed-equivalent reference: every machine of every cell priced
+		// by its own full cache walk, in order. The sweep path is proven
+		// bit-identical to this (sim's determinism tests), so only the
+		// wall clock differs.
+		results := make([][]*sim.Result, len(cells))
+		for ci, cell := range cells {
+			results[ci] = make([]*sim.Result, len(cell.machines))
+			for j, m := range cell.machines {
+				r, err := m.RunSpMV(a, nil, c.simOptions(cell.opts))
+				if err != nil {
+					return nil, err
+				}
+				results[ci][j] = r
+			}
 		}
-		vals = append(vals, r.MFLOPS)
-		return nil
+		return results, nil
+	}
+	results := make([][]*sim.Result, len(cells))
+	errs := make([]error, len(cells))
+	forEachCell(len(cells), c.workers(), func(ci int) {
+		results[ci], errs[ci] = sim.RunSpMVSweep(cells[ci].machines, a, nil, c.simOptions(cells[ci].opts))
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// gridMeans generates each selected matrix once and runs every cell on it,
+// returning the suite-mean MFLOPS per (cell, machine) - the inverted-loop
+// core of every configuration-sweep experiment (the paper reports
+// arithmetic means across the suite).
+func (c Config) gridMeans(cells []sweepCell) ([][]float64, error) {
+	entries := c.entries()
+	vals := make([][][]float64, len(cells)) // [cell][machine][matrix]
+	for ci, cell := range cells {
+		vals[ci] = make([][]float64, len(cell.machines))
+		for j := range cell.machines {
+			vals[ci][j] = make([]float64, len(entries))
+		}
+	}
+	cache := c.matrixCache()
+	for mi, e := range entries {
+		a := cache.Get(e, c.Scale)
+		rs, err := c.runGrid(a, cells)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
+		}
+		for ci := range cells {
+			for j := range rs[ci] {
+				vals[ci][j][mi] = rs[ci][j].MFLOPS
+			}
+		}
+	}
+	means := make([][]float64, len(cells))
+	for ci := range cells {
+		means[ci] = make([]float64, len(vals[ci]))
+		for j := range vals[ci] {
+			means[ci][j] = stats.Mean(vals[ci][j])
+		}
+	}
+	return means, nil
+}
+
+// meanMFLOPS runs one simulator configuration across the subset and
+// averages MFLOPS.
+func (c Config) meanMFLOPS(m *sim.Machine, opts sim.Options) (float64, error) {
+	means, err := c.gridMeans([]sweepCell{oneMachine(m, opts)})
 	if err != nil {
 		return 0, err
 	}
-	return stats.Mean(vals), nil
+	return means[0][0], nil
+}
+
+// forEachCell runs fn(i) for every cell index on up to workers
+// goroutines; workers <= 1 runs inline in index order.
+func forEachCell(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // Experiment is one regenerable artefact.

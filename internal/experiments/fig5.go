@@ -28,15 +28,20 @@ func runFig5(cfg Config) ([]*stats.Table, error) {
 		"Figure 5 - mapping policies (conf0, avg MFLOPS)",
 		"cores", "standard", "distance", "speedup",
 	)
+	// One cell per (core count, mapping policy): each matrix is generated
+	// once and swept over the whole grid.
+	var cells []sweepCell
 	for _, n := range CoreCounts {
-		std, err := cfg.meanMFLOPS(m, sim.Options{Mapping: scc.StandardMapping(n)})
-		if err != nil {
-			return nil, err
-		}
-		dr, err := cfg.meanMFLOPS(m, sim.Options{Mapping: scc.DistanceReductionMapping(n)})
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			oneMachine(m, sim.Options{Mapping: scc.StandardMapping(n)}),
+			oneMachine(m, sim.Options{Mapping: scc.DistanceReductionMapping(n)}))
+	}
+	means, err := cfg.gridMeans(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range CoreCounts {
+		std, dr := means[2*i][0], means[2*i+1][0]
 		t.AddRow(n, std, dr, dr/std)
 	}
 	t.AddNote("paper: distance reduction wins up to 1.23x; equal at 1-2 cores")

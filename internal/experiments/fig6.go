@@ -28,31 +28,38 @@ func runFig6(cfg Config) ([]*stats.Table, error) {
 		return nil, err
 	}
 	m := sim.NewMachine(scc.Conf0)
-	var tables []*stats.Table
-	for _, cores := range []int{8, 24, 48} {
-		t := stats.NewTable(
+	counts := []int{8, 24, 48}
+	tables := make([]*stats.Table, len(counts))
+	cells := make([]sweepCell, len(counts))
+	for i, cores := range counts {
+		tables[i] = stats.NewTable(
 			fmt.Sprintf("Figure 6 - performance vs working set, %d cores (conf0)", cores),
 			"#", "matrix", "ws (MB)", "ws/core (KB)", "fits L2", "MFLOPS",
 		)
-		mapping := scc.DistanceReductionMapping(cores)
-		err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-			r, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping})
-			if err != nil {
-				return err
-			}
+		cells[i] = oneMachine(m, sim.Options{Mapping: scc.DistanceReductionMapping(cores)})
+	}
+	// Matrix-outer: each matrix is generated once and its three core
+	// counts run concurrently on the host pool.
+	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+		rs, err := cfg.runGrid(a, cells)
+		if err != nil {
+			return err
+		}
+		for i, cores := range counts {
 			wsPerCoreKB := a.WorkingSetMB() * 1024 / float64(cores)
 			fits := "no"
 			if wsPerCoreKB < 256 {
 				fits = "yes"
 			}
-			t.AddRow(e.ID, e.Name, a.WorkingSetMB(), wsPerCoreKB, fits, r.MFLOPS)
-			return nil
-		})
-		if err != nil {
-			return nil, err
+			tables[i].AddRow(e.ID, e.Name, a.WorkingSetMB(), wsPerCoreKB, fits, rs[i][0].MFLOPS)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
 		t.AddNote("paper: L2-resident matrices boost at 24/48 cores; matrices 24/25 stay slow (short rows)")
-		tables = append(tables, t)
 	}
 	return tables, nil
 }

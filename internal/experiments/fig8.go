@@ -27,34 +27,40 @@ func runFig8(cfg Config) ([]*stats.Table, error) {
 		return nil, err
 	}
 	m := sim.NewMachine(scc.Conf0)
-	var tables []*stats.Table
-	for _, cores := range []int{8, 24, 48} {
+	counts := []int{8, 24, 48}
+	tables := make([]*stats.Table, len(counts))
+	speedups := make([][]float64, len(counts))
+	var cells []sweepCell // cells 2i / 2i+1 are counts[i] standard / no-x
+	for i, cores := range counts {
 		mapping := scc.DistanceReductionMapping(cores)
-		t := stats.NewTable(
+		tables[i] = stats.NewTable(
 			fmt.Sprintf("Figure 8 - no-x-miss speedup, %d cores (conf0)", cores),
 			"#", "matrix", "standard MFLOPS", "no-x MFLOPS", "speedup",
 		)
-		var speedups []float64
-		err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-			std, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping})
-			if err != nil {
-				return err
-			}
-			nox, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping, Variant: sim.KernelNoXMiss})
-			if err != nil {
-				return err
-			}
-			sp := nox.MFLOPS / std.MFLOPS
-			speedups = append(speedups, sp)
-			t.AddRow(e.ID, e.Name, std.MFLOPS, nox.MFLOPS, sp)
-			return nil
-		})
+		cells = append(cells,
+			oneMachine(m, sim.Options{Mapping: mapping}),
+			oneMachine(m, sim.Options{Mapping: mapping, Variant: sim.KernelNoXMiss}))
+	}
+	// Matrix-outer: one generation per matrix, six cells on the host pool.
+	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+		rs, err := cfg.runGrid(a, cells)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddNote("fraction of matrices with speedup > 1.1: %.0f%% (paper: > 50%%); max %.2f",
-			100*stats.FractionAbove(speedups, 1.1), stats.Max(speedups))
-		tables = append(tables, t)
+		for i := range counts {
+			std, nox := rs[2*i][0], rs[2*i+1][0]
+			sp := nox.MFLOPS / std.MFLOPS
+			speedups[i] = append(speedups[i], sp)
+			tables[i].AddRow(e.ID, e.Name, std.MFLOPS, nox.MFLOPS, sp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range counts {
+		tables[i].AddNote("fraction of matrices with speedup > 1.1: %.0f%% (paper: > 50%%); max %.2f",
+			100*stats.FractionAbove(speedups[i], 1.1), stats.Max(speedups[i]))
 	}
 	return tables, nil
 }

@@ -33,24 +33,32 @@ func runFig9(cfg Config) ([]*stats.Table, error) {
 		{"conf1", scc.Conf1},
 		{"conf2", scc.Conf2},
 	}
+	// The three clock configurations share every cache decision, so each
+	// (matrix, core count) walks the hierarchy once and prices all three
+	// (sim.RunSpMVSweep); one cell per core count covers the whole grid.
+	machines := make([]*sim.Machine, len(configs))
+	for i, c := range configs {
+		machines[i] = sim.NewMachine(c.cc)
+	}
+	cells := make([]sweepCell, len(CoreCounts))
+	for i, n := range CoreCounts {
+		cells[i] = sweepCell{machines: machines, opts: sim.Options{Mapping: scc.DistanceReductionMapping(n)}}
+	}
+	means, err := cfg.gridMeans(cells)
+	if err != nil {
+		return nil, err
+	}
 
 	perf := stats.NewTable(
 		"Figure 9(a) - configurations (avg MFLOPS)",
 		"cores", "conf0", "conf1", "conf2", "conf1/conf0", "conf2/conf0",
 	)
 	full := make(map[string]float64) // 48-core average per config
-	for _, n := range CoreCounts {
-		mapping := scc.DistanceReductionMapping(n)
-		vals := make([]float64, len(configs))
-		for i, c := range configs {
-			m := sim.NewMachine(c.cc)
-			v, err := cfg.meanMFLOPS(m, sim.Options{Mapping: mapping})
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = v
-			if n == 48 {
-				full[c.name] = v
+	for i, n := range CoreCounts {
+		vals := means[i]
+		if n == 48 {
+			for j, c := range configs {
+				full[c.name] = vals[j]
 			}
 		}
 		perf.AddRow(n, vals[0], vals[1], vals[2], vals[1]/vals[0], vals[2]/vals[0])

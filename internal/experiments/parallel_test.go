@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// testConfig returns a small but non-trivial subset: three matrices at a
+// scale where every cache level still participates.
+func testConfig() Config {
+	return Config{Scale: 0.08, Stride: 7}
+}
+
+// renderAll runs an experiment and concatenates every table's CSV - the
+// byte-exact artefact the determinism contract covers.
+func renderAll(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := ""
+	for _, tab := range tables {
+		out += tab.CSV() + "\n"
+	}
+	return out
+}
+
+// TestExperimentsBitIdenticalUnderParallelism proves the end-to-end
+// determinism contract at the experiment level: the host-parallel engine
+// (worker pools + matrix cache + shared sweep walks) renders byte-identical
+// tables to the serial reference engine with memoisation disabled.
+func TestExperimentsBitIdenticalUnderParallelism(t *testing.T) {
+	for _, id := range []string{"fig5", "fig8", "fig9", "ablation-warmup"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			sequential := testConfig()
+			sequential.Sequential = true
+			sequential.MatrixCache = sparse.NewMatrixCache(0)
+
+			serial := testConfig()
+			serial.Parallelism = 1
+			serial.MatrixCache = sparse.NewMatrixCache(0)
+
+			parallel := testConfig()
+			parallel.Parallelism = 0
+			parallel.MatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+
+			// The seed-equivalent engine (individual cache walks, no
+			// memoisation) is the ground truth both engine paths must hit.
+			want := renderAll(t, id, sequential)
+			if got := renderAll(t, id, serial); got != want {
+				t.Errorf("serial engine output differs from sequential reference:\n--- sequential ---\n%s\n--- serial ---\n%s", want, got)
+			}
+			if got := renderAll(t, id, parallel); got != want {
+				t.Errorf("parallel engine output differs from sequential reference:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestBenchRecordsSpeedupFields exercises the bench harness end to end on a
+// tiny subset and sanity-checks the perf record's bookkeeping.
+func TestBenchRecordsSpeedupFields(t *testing.T) {
+	cfg := Config{Scale: 0.05, Stride: 9}
+	rec, err := Bench(cfg, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Experiment != "fig5" {
+		t.Errorf("experiment = %q, want fig5", rec.Experiment)
+	}
+	if rec.SerialSec <= 0 || rec.ParallelSec <= 0 || rec.Speedup <= 0 {
+		t.Errorf("non-positive timings: serial %v parallel %v speedup %v",
+			rec.SerialSec, rec.ParallelSec, rec.Speedup)
+	}
+	if rec.Matrices != cfg.MatrixCount() {
+		t.Errorf("matrices = %d, want %d", rec.Matrices, cfg.MatrixCount())
+	}
+	if rec.SimulatedGFLOP <= 0 || rec.SimulatedGFLOPS <= 0 {
+		t.Errorf("simulated work not recorded: %v GFLOP, %v GFLOP/s",
+			rec.SimulatedGFLOP, rec.SimulatedGFLOPS)
+	}
+	if rec.MatrixVisits == 0 || rec.CacheMisses == 0 {
+		t.Errorf("matrix-cache accounting empty: visits %d misses %d",
+			rec.MatrixVisits, rec.CacheMisses)
+	}
+	if rec.CacheMisses > uint64(rec.Matrices) {
+		t.Errorf("parallel leg regenerated matrices: %d misses for %d matrices",
+			rec.CacheMisses, rec.Matrices)
+	}
+	if rec.GoMaxProcs < 1 {
+		t.Errorf("gomaxprocs = %d", rec.GoMaxProcs)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if _, err := Bench(Config{Scale: 0.05}, "no-such-exp"); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}

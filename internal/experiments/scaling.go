@@ -40,19 +40,22 @@ func runAnalysisScaling(cfg Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("eff@%d", n))
 	}
 	t := stats.NewTable("Analysis - parallel efficiency (conf0, speedup/cores)", headers...)
+	// Cell 0 is the single-core baseline, cells 1.. the sweep counts; all
+	// six run concurrently per matrix.
+	cells := []sweepCell{oneMachine(m, sim.Options{Mapping: scc.DistanceReductionMapping(1)})}
+	for _, n := range counts {
+		cells = append(cells, oneMachine(m, sim.Options{Mapping: scc.DistanceReductionMapping(n)}))
+	}
 	superlinear := 0
 	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-		base, err := m.RunSpMV(a, nil, sim.Options{Mapping: scc.DistanceReductionMapping(1)})
+		rs, err := cfg.runGrid(a, cells)
 		if err != nil {
 			return err
 		}
+		base := rs[0][0]
 		row := []any{e.ID, e.Name, base.MFLOPS}
-		for _, n := range counts {
-			r, err := m.RunSpMV(a, nil, sim.Options{Mapping: scc.DistanceReductionMapping(n)})
-			if err != nil {
-				return err
-			}
-			eff := r.MFLOPS / base.MFLOPS / float64(n)
+		for i, n := range counts {
+			eff := rs[i+1][0].MFLOPS / base.MFLOPS / float64(n)
 			if eff > 1.05 {
 				superlinear++
 			}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+// The host-parallel engine must be a pure performance feature: every field
+// of Result (Y, per-core times, GFLOPS, cache stats, ...) must be
+// bit-identical to the serial reference path for any pool size.
+func TestParallelEngineBitIdenticalToSerial(t *testing.T) {
+	matrices := []*sparse.CSR{fixBig, fixSmall, fixIrr}
+	ueCounts := []int{1, 7, 24, 48}
+	variants := []Variant{KernelStandard, KernelNoXMiss}
+
+	m := NewMachine(scc.Conf0)
+	for _, a := range matrices {
+		for _, ues := range ueCounts {
+			for _, v := range variants {
+				for _, cold := range []bool{false, true} {
+					opts := Options{
+						Mapping:   scc.DistanceReductionMapping(ues),
+						Variant:   v,
+						ColdCache: cold,
+					}
+					sOpts := opts
+					sOpts.Parallelism = 1
+					serial, err := m.RunSpMV(a, nil, sOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range []int{0, 3, 16} {
+						pOpts := opts
+						pOpts.Parallelism = workers
+						par, err := m.RunSpMV(a, nil, pOpts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(serial, par) {
+							t.Fatalf("%s ues=%d variant=%v cold=%v workers=%d: parallel result differs from serial",
+								a.Name, ues, v, cold, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// A swept run must be bit-identical to running each machine on its own:
+// the shared cache walk is an optimisation, not an approximation.
+func TestSweepBitIdenticalToIndividualRuns(t *testing.T) {
+	machines := []*Machine{
+		NewMachine(scc.Conf0),
+		NewMachine(scc.Conf1),
+		NewMachine(scc.Conf2),
+	}
+	for _, a := range []*sparse.CSR{fixSmall, fixIrr} {
+		for _, ues := range []int{1, 24, 48} {
+			opts := Options{Mapping: scc.DistanceReductionMapping(ues)}
+			swept, err := RunSpMVSweep(machines, a, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, mj := range machines {
+				solo, err := mj.RunSpMV(a, nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(swept[j], solo) {
+					t.Fatalf("%s ues=%d machine %d: swept result differs from individual run", a.Name, ues, j)
+				}
+			}
+		}
+	}
+}
+
+// The sweep validates that machines share everything the cache walk
+// depends on.
+func TestSweepRejectsMismatchedMachines(t *testing.T) {
+	a, b := NewMachine(scc.Conf0), NewMachine(scc.Conf1)
+	b.WithL2 = false
+	if _, err := RunSpMVSweep([]*Machine{a, b}, fixSmall, nil, Options{UEs: 4}); err == nil {
+		t.Error("mismatched WithL2 accepted")
+	}
+	c := NewMachine(scc.Conf1)
+	c.Params.NNZComputeCycles++
+	if _, err := RunSpMVSweep([]*Machine{a, c}, fixSmall, nil, Options{UEs: 4}); err == nil {
+		t.Error("mismatched Params accepted")
+	}
+	if _, err := RunSpMVSweep(nil, fixSmall, nil, Options{UEs: 4}); err == nil {
+		t.Error("empty machine list accepted")
+	}
+}
+
+func TestNegativeParallelismRejected(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	if _, err := m.RunSpMV(fixSmall, nil, Options{UEs: 2, Parallelism: -1}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}

@@ -123,6 +123,13 @@ type Options struct {
 	// set fits the 256 KB L2 only compulsory misses remain, and those
 	// are amortised away across iterations (Section IV-B).
 	ColdCache bool
+	// Parallelism bounds the host worker pool that simulates UEs
+	// concurrently: 0 uses GOMAXPROCS, 1 forces the serial reference
+	// path, n > 1 caps the pool at n goroutines. Per-UE simulations are
+	// independent (private cold caches, disjoint y rows), so every
+	// setting produces bit-identical results; 1 is kept as the
+	// determinism oracle and for debugging.
+	Parallelism int
 }
 
 func (o *Options) normalize() error {
@@ -141,6 +148,9 @@ func (o *Options) normalize() error {
 	}
 	if o.Variant != KernelStandard && o.Variant != KernelNoXMiss {
 		return fmt.Errorf("sim: unknown kernel variant %d", o.Variant)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("sim: negative parallelism %d", o.Parallelism)
 	}
 	return nil
 }

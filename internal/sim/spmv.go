@@ -2,6 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -10,15 +13,55 @@ import (
 	"repro/internal/sparse"
 )
 
+// simulatedFLOPs counts the useful floating-point operations of every
+// simulated kernel delivered by the engine (2·nnz per Result). It is a
+// process-wide observability counter for benchmarks and the perf record;
+// it never feeds back into simulation results.
+var simulatedFLOPs atomic.Uint64
+
+// SimulatedFLOPs returns the cumulative simulated-kernel flop count. The
+// difference of two readings divided by wall time is the engine's
+// simulation throughput in simulated FLOPS.
+func SimulatedFLOPs() uint64 { return simulatedFLOPs.Load() }
+
 // RunSpMV simulates one parallel y = A·x on the machine and returns timing,
 // cache and power detail. x is the multiplicand; pass nil for an all-ones
-// vector. The simulation is deterministic.
+// vector. The simulation is deterministic: per-UE simulations are
+// independent (private cold caches, disjoint y rows), so the host-parallel
+// engine (Options.Parallelism) produces bit-identical results to the
+// serial reference path.
 func (m *Machine) RunSpMV(a *sparse.CSR, x []float64, opts Options) (*Result, error) {
+	rs, err := RunSpMVSweep([]*Machine{m}, a, x, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// RunSpMVSweep simulates the same kernel invocation under several machines
+// that share cache geometry and timing coefficients but may differ in
+// frequency domains (e.g. conf0/conf1/conf2). The clock setting cannot
+// change which cache level satisfies an access, so the expensive cache walk
+// runs once per UE while per-configuration stall cycles accumulate in the
+// same order a dedicated run would use - every returned Result is
+// bit-identical to machines[j].RunSpMV on its own.
+func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options) ([]*Result, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("sim: sweep needs at least one machine")
+	}
+	lead := machines[0]
+	for _, mj := range machines[1:] {
+		if mj.WithL2 != lead.WithL2 || mj.Prefetch != lead.Prefetch || mj.Params != lead.Params {
+			return nil, fmt.Errorf("sim: sweep machines must share cache geometry and timing params")
+		}
+	}
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
-	if err := m.Domains.Validate(); err != nil {
-		return nil, err
+	for _, mj := range machines {
+		if err := mj.Domains.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if x == nil {
 		x = make([]float64, a.Cols)
@@ -35,35 +78,93 @@ func (m *Machine) RunSpMV(a *sparse.CSR, x []float64, opts Options) (*Result, er
 		return nil, err
 	}
 
-	res := &Result{
-		Matrix:  a.Name,
-		Variant: opts.Variant,
-		UEs:     opts.UEs,
-		PerCore: make([]CoreResult, opts.UEs),
-		Y:       make([]float64, a.Rows),
+	results := make([]*Result, len(machines))
+	for j := range machines {
+		results[j] = &Result{
+			Matrix:  a.Name,
+			Variant: opts.Variant,
+			UEs:     opts.UEs,
+			PerCore: make([]CoreResult, opts.UEs),
+		}
 	}
+	// y is computed once and shared across the sweep: the arithmetic does
+	// not depend on the clock configuration, and each UE owns a disjoint
+	// row block, so concurrent workers never touch the same element.
+	y := make([]float64, a.Rows)
 	lay := layoutFor(a)
 
-	for rank := 0; rank < opts.UEs; rank++ {
+	forEachRank(opts.UEs, opts.workers(), func(rank int) {
 		core := opts.Mapping[rank]
-		cfg := m.Domains.ConfigFor(core)
-		cr := m.simCore(a, x, res.Y, parts[rank], core, cfg, opts, lay)
-		cr.Rank = rank
-		res.PerCore[rank] = cr
+		crs := lead.simCoreSweep(machines, a, x, y, parts[rank], core, opts, lay)
+		for j := range crs {
+			crs[j].Rank = rank
+			results[j].PerCore[rank] = crs[j]
+		}
+	})
+
+	results[0].Y = y
+	for j := 1; j < len(results); j++ {
+		results[j].Y = append([]float64(nil), y...)
 	}
+	for j, mj := range machines {
+		mj.applyContention(results[j])
+		mj.addBarrierCost(results[j])
+		mj.finalize(results[j], a.NNZ())
+	}
+	simulatedFLOPs.Add(uint64(len(machines)) * uint64(2*a.NNZ()))
+	return results, nil
+}
 
-	m.applyContention(res)
-	m.addBarrierCost(res)
-
+// finalize derives the run-level metrics from the per-core results.
+func (m *Machine) finalize(res *Result, nnz int) {
 	res.TimeSec = res.MaxCoreTime()
 	if res.TimeSec > 0 {
-		flops := 2 * float64(a.NNZ())
+		flops := 2 * float64(nnz)
 		res.GFLOPS = flops / res.TimeSec / 1e9
 		res.MFLOPS = res.GFLOPS * 1000
 	}
 	res.PowerWatts = scc.FullSystemPower(m.Domains)
 	res.MFLOPSPerWatt = scc.MFLOPSPerWatt(res.GFLOPS, res.PowerWatts)
-	return res, nil
+}
+
+// forEachRank runs fn(rank) for every rank in [0, n), fanning the calls
+// over at most workers goroutines. workers <= 1 runs inline in rank order
+// (the serial reference path). fn must be safe to call concurrently for
+// distinct ranks.
+func forEachRank(n, workers int, fn func(rank int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for r := 0; r < n; r++ {
+			fn(r)
+		}
+		return
+	}
+	ranks := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for r := range ranks {
+				fn(r)
+			}
+		}()
+	}
+	for r := 0; r < n; r++ {
+		ranks <- r
+	}
+	close(ranks)
+	wg.Wait()
+}
+
+// workers resolves the Parallelism knob to a pool size.
+func (o *Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // stream batches a unit-stride access sequence: the cache is probed only
@@ -84,59 +185,101 @@ func (s *stream) crossing(addr uint64) bool {
 	return true
 }
 
-// simCore executes one UE's row list on a private cold cache hierarchy and
-// returns its uncontended timing. It also computes the UE's slice of y.
-func (m *Machine) simCore(a *sparse.CSR, x, y []float64, rows []int32,
-	core scc.CoreID, cfg scc.ClockConfig, opts Options, lay layout) CoreResult {
+// prober drives one core's cache hierarchy and prices every line-crossing
+// access, accumulating stall cycles separately per swept clock
+// configuration (stall[j] uses memLat[j]). Keeping the accumulation as a
+// per-configuration running sum preserves the exact floating-point
+// addition order of a single-configuration run.
+type prober struct {
+	h      *cache.Hierarchy
+	l2hit  float64
+	memLat []float64
+	stall  []float64
+}
+
+func (p *prober) probe(addr uint64, write bool) {
+	switch p.h.Access(addr, write) {
+	case cache.LevelL1:
+		// already priced into NNZComputeCycles
+	case cache.LevelL2:
+		for j := range p.stall {
+			p.stall[j] += p.l2hit
+		}
+	case cache.LevelMemory:
+		for j, lat := range p.memLat {
+			p.stall[j] += lat
+		}
+	}
+}
+
+// simCoreSweep executes one UE's row list on a private cold cache hierarchy
+// and returns its uncontended timing under every swept machine. It also
+// computes the UE's slice of y (once; the values are clock-independent).
+func (m *Machine) simCoreSweep(machines []*Machine, a *sparse.CSR, x, y []float64,
+	rows []int32, core scc.CoreID, opts Options, lay layout) []CoreResult {
 
 	h := m.newHierarchy()
 	hops := scc.HopsToMC(core)
-	memLat := scc.MemoryLatencyCoreCycles(hops, cfg)
+	cfgs := make([]scc.ClockConfig, len(machines))
+	memLat := make([]float64, len(machines))
+	for j, mj := range machines {
+		cfgs[j] = mj.Domains.ConfigFor(core)
+		memLat[j] = scc.MemoryLatencyCoreCycles(hops, cfgs[j])
+	}
+	pr := &prober{h: h, l2hit: m.Params.L2HitCycles, memLat: memLat, stall: make([]float64, len(machines))}
 
 	passes := 2 // warm-up pass + timed steady-state pass
 	if opts.ColdCache {
 		passes = 1
 	}
-	var compute, stall float64
+	var compute float64
 	var nnz int
 	for pass := 0; pass < passes; pass++ {
-		if pass == passes-1 {
+		timed := pass == passes-1
+		if timed {
 			h.ResetStats()
 		}
-		compute, stall, nnz = m.runPass(a, x, y, rows, h, memLat, opts, lay)
+		for j := range pr.stall {
+			pr.stall[j] = 0
+		}
+		compute, nnz = m.runPass(a, x, y, rows, pr, opts, lay, timed)
 	}
 
-	cyc := cfg.CoreCycleSec()
-	return CoreResult{
-		Core:        core,
-		Hops:        hops,
-		Rows:        len(rows),
-		NNZ:         nnz,
-		ComputeSec:  compute * cyc,
-		MemStallSec: stall * cyc,
-		Slowdown:    1,
-		TimeSec:     (compute + stall) * cyc,
-		Cache:       h.Stats(),
+	stats := h.Stats()
+	out := make([]CoreResult, len(machines))
+	for j := range out {
+		cyc := cfgs[j].CoreCycleSec()
+		out[j] = CoreResult{
+			Core:        core,
+			Hops:        hops,
+			Rows:        len(rows),
+			NNZ:         nnz,
+			ComputeSec:  compute * cyc,
+			MemStallSec: pr.stall[j] * cyc,
+			Slowdown:    1,
+			TimeSec:     (compute + pr.stall[j]) * cyc,
+			Cache:       stats,
+		}
 	}
+	return out
 }
 
-// runPass walks the rows once, returning (compute cycles, stall cycles, nnz).
+// runPass walks the rows once, returning (compute cycles, nnz); stall
+// cycles accumulate in pr. storeY=false is the untimed warm-up: the access
+// stream (and therefore cache behaviour) is unchanged, but the arithmetic
+// and the y store are skipped - the timed pass recomputes every owned y
+// element from scratch, so the final values cannot differ.
 func (m *Machine) runPass(a *sparse.CSR, x, y []float64, rows []int32,
-	h *cache.Hierarchy, memLat float64, opts Options, lay layout) (compute, stall float64, nnz int) {
+	pr *prober, opts Options, lay layout, storeY bool) (compute float64, nnz int) {
 
 	noX := opts.Variant == KernelNoXMiss
 	var ptrS, idxS, valS, yS stream
 
-	probe := func(addr uint64, write bool) {
-		switch h.Access(addr, write) {
-		case cache.LevelL1:
-			// already priced into NNZComputeCycles
-		case cache.LevelL2:
-			stall += m.Params.L2HitCycles
-		case cache.LevelMemory:
-			stall += memLat
-		}
-	}
+	// Hoist loop invariants: layout bases, CSR arrays and cycle prices.
+	layPtr, layIdx, layVal, layX, layY := lay.ptr, lay.index, lay.val, lay.x, lay.y
+	aPtr, aIdx, aVal := a.Ptr, a.Index, a.Val
+	rowOverhead := m.Params.RowOverheadCycles
+	nnzCompute := m.Params.NNZComputeCycles
 
 	x0 := 0.0
 	if len(x) > 0 {
@@ -144,34 +287,41 @@ func (m *Machine) runPass(a *sparse.CSR, x, y []float64, rows []int32,
 	}
 	for _, ri := range rows {
 		i := int(ri)
-		compute += m.Params.RowOverheadCycles
-		if addr := lay.ptr + 4*uint64(i); ptrS.crossing(addr) {
-			probe(addr, false)
+		compute += rowOverhead
+		if addr := layPtr + 4*uint64(i); ptrS.crossing(addr) {
+			pr.probe(addr, false)
 		}
 		var t float64
-		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-			if addr := lay.index + 4*uint64(k); idxS.crossing(addr) {
-				probe(addr, false)
+		for k := aPtr[i]; k < aPtr[i+1]; k++ {
+			if addr := layIdx + 4*uint64(k); idxS.crossing(addr) {
+				pr.probe(addr, false)
 			}
-			if addr := lay.val + 8*uint64(k); valS.crossing(addr) {
-				probe(addr, false)
+			if addr := layVal + 8*uint64(k); valS.crossing(addr) {
+				pr.probe(addr, false)
 			}
 			if noX {
-				probe(lay.x, false)
-				t += a.Val[k] * x0
+				pr.probe(layX, false)
+				if storeY {
+					t += aVal[k] * x0
+				}
 			} else {
-				probe(lay.x+8*uint64(a.Index[k]), false)
-				t += a.Val[k] * x[a.Index[k]]
+				j := aIdx[k]
+				pr.probe(layX+8*uint64(j), false)
+				if storeY {
+					t += aVal[k] * x[j]
+				}
 			}
-			compute += m.Params.NNZComputeCycles
+			compute += nnzCompute
 			nnz++
 		}
-		y[i] = t
-		if addr := lay.y + 8*uint64(i); yS.crossing(addr) {
-			probe(addr, true)
+		if storeY {
+			y[i] = t
+		}
+		if addr := layY + 8*uint64(i); yS.crossing(addr) {
+			pr.probe(addr, true)
 		}
 	}
-	return compute, stall, nnz
+	return compute, nnz
 }
 
 // addBarrierCost charges every core the closing RCCE barrier: UEs mesh

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"container/list"
+	"sync"
+)
+
+// MatrixCache memoises generated testbed matrices keyed by (entry name,
+// scale) behind a byte-budgeted LRU. Experiment sweeps revisit the same
+// matrices once per configuration (core count, clock config, kernel
+// variant, ...); regenerating them dominated sweep wall clock, but the
+// full-scale testbed (~1.2 GB of CSR data) cannot simply live in memory
+// all at once. The budget bounds resident bytes and least-recently-used
+// matrices are dropped first, preserving the release-before-next contract
+// of Config.forEachMatrix in internal/experiments.
+//
+// Generation is deterministic (each entry carries a fixed seed), so a
+// cached matrix is identical to a freshly generated one.
+type MatrixCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recently used; values are *matrixEntry
+	byKey  map[matrixKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type matrixKey struct {
+	name  string
+	scale float64
+}
+
+type matrixEntry struct {
+	key  matrixKey
+	m    *CSR
+	size int64
+}
+
+// NewMatrixCache builds a cache that keeps at most budgetBytes of CSR data
+// resident. A non-positive budget disables retention entirely: Get still
+// works but always regenerates (the determinism/debugging oracle).
+func NewMatrixCache(budgetBytes int64) *MatrixCache {
+	return &MatrixCache{
+		budget: budgetBytes,
+		lru:    list.New(),
+		byKey:  make(map[matrixKey]*list.Element),
+	}
+}
+
+// Get returns the entry's matrix at the given scale, generating it on a
+// miss. The returned matrix is shared across callers and must be treated
+// as read-only; reordering and format conversions in this package already
+// copy. A nil cache is valid and always generates.
+func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
+	if c == nil {
+		return e.GenerateScaled(scale)
+	}
+	k := matrixKey{name: e.Name, scale: scale}
+	c.mu.Lock()
+	if el, ok := c.byKey[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		m := el.Value.(*matrixEntry).m
+		c.mu.Unlock()
+		return m
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Generate outside the lock so concurrent misses on different keys
+	// do not serialise on the expensive part.
+	m := e.GenerateScaled(scale)
+	size := m.SizeBytes()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		// Another goroutine generated the same key while we did; keep the
+		// resident copy so every caller shares one instance.
+		c.lru.MoveToFront(el)
+		return el.Value.(*matrixEntry).m
+	}
+	if size > c.budget {
+		return m // larger than the whole budget: hand out uncached
+	}
+	for c.used+size > c.budget {
+		back := c.lru.Back()
+		ent := back.Value.(*matrixEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, ent.key)
+		c.used -= ent.size
+		c.evictions++
+	}
+	c.byKey[k] = c.lru.PushFront(&matrixEntry{key: k, m: m, size: size})
+	c.used += size
+	return m
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Resident                int
+	UsedBytes, BudgetBytes  int64
+}
+
+// Stats returns a snapshot of the cache counters. Safe on a nil cache.
+func (c *MatrixCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Resident:    c.lru.Len(),
+		UsedBytes:   c.used,
+		BudgetBytes: c.budget,
+	}
+}

@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testEntry(t *testing.T, name string) TestbedEntry {
+	t.Helper()
+	e, ok := TestbedEntryByName(name)
+	if !ok {
+		t.Fatalf("testbed entry %q missing", name)
+	}
+	return e
+}
+
+func TestMatrixCacheHitReturnsSameInstance(t *testing.T) {
+	c := NewMatrixCache(1 << 30)
+	e := testEntry(t, "lhr04")
+	a := c.Get(e, 0.1)
+	b := c.Get(e, 0.1)
+	if a != b {
+		t.Fatal("second Get did not return the cached instance")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.UsedBytes != a.SizeBytes() {
+		t.Fatalf("used %d bytes, matrix is %d", st.UsedBytes, a.SizeBytes())
+	}
+}
+
+func TestMatrixCacheScaleIsPartOfTheKey(t *testing.T) {
+	c := NewMatrixCache(1 << 30)
+	e := testEntry(t, "lhr04")
+	a := c.Get(e, 0.1)
+	b := c.Get(e, 0.2)
+	if a == b || a.Rows == b.Rows {
+		t.Fatal("different scales must generate different matrices")
+	}
+	if c.Stats().Misses != 2 {
+		t.Fatalf("expected two misses, got %+v", c.Stats())
+	}
+}
+
+func TestMatrixCacheMatchesFreshGeneration(t *testing.T) {
+	c := NewMatrixCache(1 << 30)
+	e := testEntry(t, "psmigr_1")
+	cached := c.Get(e, 0.1)
+	fresh := e.GenerateScaled(0.1)
+	if !reflect.DeepEqual(cached, fresh) {
+		t.Fatal("cached matrix differs from a fresh generation")
+	}
+}
+
+func TestMatrixCacheEvictsLRUWithinBudget(t *testing.T) {
+	e1 := testEntry(t, "lhr04")
+	e2 := testEntry(t, "rajat01")
+	e3 := testEntry(t, "psmigr_1")
+	s1 := e1.GenerateScaled(0.1).SizeBytes()
+	s2 := e2.GenerateScaled(0.1).SizeBytes()
+	s3 := e3.GenerateScaled(0.1).SizeBytes()
+
+	if s1 >= s2 || s2 >= s3 {
+		t.Fatalf("fixture sizes not ascending: %d %d %d", s1, s2, s3)
+	}
+	// Budget fits any pair (the largest is s2+s3) but not all three.
+	c := NewMatrixCache(s2 + s3)
+	c.Get(e1, 0.1)
+	c.Get(e2, 0.1)
+	c.Get(e1, 0.1) // e2 is now the least recently used
+	c.Get(e3, 0.1) // must evict e2 (and possibly e1) but never overflow
+	st := c.Stats()
+	if st.UsedBytes > st.BudgetBytes {
+		t.Fatalf("cache over budget: %d > %d", st.UsedBytes, st.BudgetBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected at least one eviction")
+	}
+	// e1 was touched more recently than e2: it must still be resident.
+	before := c.Stats().Hits
+	c.Get(e1, 0.1)
+	if c.Stats().Hits != before+1 {
+		t.Fatal("LRU evicted the most recently used entry")
+	}
+}
+
+func TestMatrixCacheOversizedEntryBypasses(t *testing.T) {
+	e := testEntry(t, "psmigr_1")
+	c := NewMatrixCache(16) // far smaller than any matrix
+	a := c.Get(e, 0.1)
+	if a == nil || a.NNZ() == 0 {
+		t.Fatal("oversized entry not generated")
+	}
+	st := c.Stats()
+	if st.Resident != 0 || st.UsedBytes != 0 {
+		t.Fatalf("oversized entry retained: %+v", st)
+	}
+}
+
+func TestMatrixCacheNilAndDisabled(t *testing.T) {
+	var nilCache *MatrixCache
+	e := testEntry(t, "lhr04")
+	if nilCache.Get(e, 0.1) == nil {
+		t.Fatal("nil cache must still generate")
+	}
+	if s := nilCache.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	off := NewMatrixCache(0)
+	a, b := off.Get(e, 0.1), off.Get(e, 0.1)
+	if a == b {
+		t.Fatal("zero-budget cache must not retain")
+	}
+}
+
+func TestMatrixCacheConcurrentAccess(t *testing.T) {
+	c := NewMatrixCache(1 << 30)
+	entries := []TestbedEntry{
+		testEntry(t, "lhr04"),
+		testEntry(t, "rajat01"),
+		testEntry(t, "psmigr_1"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				e := entries[(g+i)%len(entries)]
+				if m := c.Get(e, 0.1); m.NNZ() == 0 {
+					t.Error("empty matrix from cache")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	// Concurrent first touches of the same key may race to generate (both
+	// count a miss; one instance is kept), so only the lower bound and the
+	// resident set are exact.
+	if st.Misses < uint64(len(entries)) || st.Resident != len(entries) {
+		t.Fatalf("expected %d resident entries, got %+v", len(entries), st)
+	}
+}

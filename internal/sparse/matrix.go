@@ -51,6 +51,13 @@ func (m *CSR) Row(i int) ([]int32, []float64) {
 	return m.Index[lo:hi], m.Val[lo:hi]
 }
 
+// SizeBytes returns the in-memory footprint of the CSR arrays (Ptr, Index,
+// Val). Unlike WorkingSetBytes it excludes the dense x and y vectors: it
+// prices what a matrix cache must keep resident.
+func (m *CSR) SizeBytes() int64 {
+	return 4*int64(len(m.Ptr)) + 4*int64(len(m.Index)) + 8*int64(len(m.Val))
+}
+
 // WorkingSetBytes returns the SpMV working set in bytes exactly as the paper
 // computes it: 4·((n+1)+nnz) + 8·(nnz+2·n), i.e. 32-bit Ptr and Index arrays,
 // float64 values, and the dense x and y vectors.
