@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench perf clean
+.PHONY: all build check test race bench perf metrics-smoke clean
 
 all: build
 
@@ -32,6 +32,13 @@ bench:
 # the BENCH_fig9.json record.
 perf:
 	$(GO) run ./cmd/sccsim -exp bench -benchexp fig9
+
+# metrics-smoke proves the observability layer end to end: a small run
+# with -metrics must emit parseable JSON with nonzero engine counters
+# (UE walks, cells, cache traffic, controller contention).
+metrics-smoke:
+	$(GO) run ./cmd/sccsim -exp fig3 -scale 0.05 -metrics /tmp/m.json > /dev/null
+	$(GO) run ./cmd/metricscheck /tmp/m.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,90 @@
+// Command metricscheck validates an engine-metrics snapshot written by
+// `sccsim -metrics out.json` (the `make metrics-smoke` gate): the file
+// must parse as the sccsim-metrics schema and the core engine counters
+// must be nonzero, proving the observability layer actually saw UE
+// walks, experiment cells, matrix-cache traffic and memory-controller
+// contention.
+//
+// Usage:
+//
+//	metricscheck file.json [counter ...]
+//
+// With no counter arguments the default engine set is required.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// defaultRequired is the counter set every engine run must produce.
+var defaultRequired = []string{
+	"sim.flops.simulated",
+	"sim.sweep.runs",
+	"sim.ue_walk.tasks",
+	"experiments.cell.tasks",
+	"experiments.matrix.visits",
+	"sparse.matrix_cache.misses",
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck file.json [counter ...]")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	required := os.Args[2:]
+	if len(required) == 0 {
+		required = defaultRequired
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var snap obs.SnapshotData
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		fail("%s: not valid metrics JSON: %v", path, err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		fail("%s: schema %q, want %q", path, snap.Schema, obs.SnapshotSchema)
+	}
+
+	var missing []string
+	for _, name := range required {
+		if snap.Counters[name] == 0 {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fail("%s: required counters zero or absent: %s", path, strings.Join(missing, ", "))
+	}
+
+	// The engine must also have sampled pool occupancy and at least one
+	// memory controller's contention distribution.
+	if st := snap.Samples["sim.ue_walk.occupancy"]; st.Count == 0 {
+		fail("%s: sim.ue_walk.occupancy never sampled", path)
+	}
+	contended := false
+	for name, st := range snap.Samples {
+		if strings.HasPrefix(name, "mem.mc") && strings.HasSuffix(name, ".slowdown") && st.Count > 0 {
+			contended = true
+			break
+		}
+	}
+	if !contended {
+		fail("%s: no memory-controller slowdown samples recorded", path)
+	}
+
+	fmt.Printf("metricscheck: %s ok (%d counters, %d samples, %.1fs wall)\n",
+		path, len(snap.Counters), len(snap.Samples), snap.WallSeconds)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricscheck: "+format+"\n", args...)
+	os.Exit(1)
+}

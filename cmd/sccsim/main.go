@@ -17,6 +17,13 @@
 // serial and parallel engines on one experiment and writes a
 // machine-readable BENCH_<exp>.json perf record. -cpuprofile/-memprofile
 // capture pprof profiles of whatever the invocation runs.
+//
+// Observability (internal/obs): -metrics out.json writes a schema-stable
+// JSON snapshot of every engine metric (per-UE walk timings, worker-pool
+// occupancy, sweep sharing, matrix-cache effectiveness, per-controller
+// contention) plus the run's span tree; -progress prints a periodic
+// heartbeat of the counters to stderr. Both are write-only taps: output
+// tables are bit-identical with or without them.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/stats"
 )
@@ -51,6 +59,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "with -exp bench: also print the perf record as JSON on stdout")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		metricsOut = flag.String("metrics", "", "write a JSON snapshot of the engine metrics (internal/obs) to this file on exit")
+		progress   = flag.Bool("progress", false, "print a periodic engine-metrics heartbeat to stderr")
 	)
 	flag.Parse()
 
@@ -100,8 +110,36 @@ func main() {
 		MatrixCache: sparse.NewMatrixCache(*cacheMB << 20),
 	}
 
+	var reporter *obs.Reporter
+	if *progress {
+		reporter = obs.NewReporter(obs.Default, os.Stderr, time.Second)
+		reporter.Start()
+	}
+	runSpan := obs.Default.StartSpan("run")
+	// finishObs closes the run span, flushes the last heartbeat and
+	// persists the -metrics snapshot; called on every successful exit
+	// path (fatalf exits without it, like the pprof defers).
+	finishObs := func() {
+		runSpan.End()
+		if reporter != nil {
+			reporter.Stop()
+		}
+		if *metricsOut == "" {
+			return
+		}
+		blob, err := obs.Default.SnapshotJSON()
+		if err != nil {
+			fatalf("metrics snapshot: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, blob, 0o644); err != nil {
+			fatalf("writing %s: %v", *metricsOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "sccsim: metrics written to %s\n", *metricsOut)
+	}
+
 	if *expID == "bench" {
 		runBench(cfg, *benchExp, *outDir, *jsonOut)
+		finishObs()
 		return
 	}
 
@@ -119,7 +157,10 @@ func main() {
 
 	for _, e := range toRun {
 		start := time.Now()
-		tables, err := e.Run(cfg)
+		ecfg := cfg
+		ecfg.Span = runSpan.StartChild("exp:" + e.ID)
+		tables, err := e.Run(ecfg)
+		ecfg.Span.End()
 		if err != nil {
 			fatalf("%s: %v", e.ID, err)
 		}
@@ -137,6 +178,7 @@ func main() {
 			}
 		}
 	}
+	finishObs()
 }
 
 // runBench times the serial vs parallel engine on one experiment and

@@ -57,7 +57,7 @@ func runAblationFormats(cfg Config) ([]*stats.Table, error) {
 		"Ablation - storage formats (24 cores, conf0, MFLOPS)",
 		"#", "matrix", "CSR", "ELL", "BCSR 2x2", "BCSR fill", "DIA", "HYB",
 	)
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
 		csr, err := m.RunSpMV(a, nil, sim.Options{Mapping: scc.DistanceReductionMapping(cores)})
 		if err != nil {
 			return err
@@ -122,7 +122,7 @@ func runAblationReorder(cfg Config) ([]*stats.Table, error) {
 		"Ablation - RCM reordering (24 cores, conf0, MFLOPS)",
 		"#", "matrix", "original", "shuffled", "RCM", "RCM/original",
 	)
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
 		if e.Class != sparse.PatternRandom && e.Class != sparse.PatternPowerLaw {
 			return nil // reordering targets the irregular entries
 		}
@@ -224,8 +224,8 @@ func runAblationPrefetch(cfg Config) ([]*stats.Table, error) {
 		oneMachine(plain, sim.Options{Mapping: mapping}),
 		oneMachine(pf, sim.Options{Mapping: mapping}),
 	}
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-		rs, err := cfg.runGrid(a, cells)
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
+		rs, err := mc.runGrid(a, cells)
 		if err != nil {
 			return err
 		}
@@ -254,7 +254,7 @@ func runAblationCacheBlock(cfg Config) ([]*stats.Table, error) {
 		"Ablation - cache blocking (4 cores, conf0, 128 KB x-window, MFLOPS)",
 		"#", "matrix", "nnz/n", "x (KB)", "plain CSR", "blocked", "speedup",
 	)
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
 		xKB := 8 * a.Cols / 1024
 		if a.NNZPerRow() < 40 || xKB < 512 {
 			return nil // blocking cannot pay off; skip

@@ -44,10 +44,15 @@ type BenchRecord struct {
 	SimulatedGFLOP  float64 `json:"simulated_gflop"`
 	SimulatedGFLOPS float64 `json:"simulated_gflops"`
 	// Matrix-cache effectiveness during the parallel leg.
-	CacheHits      uint64 `json:"cache_hits"`
-	CacheMisses    uint64 `json:"cache_misses"`
-	CacheEvictions uint64 `json:"cache_evictions"`
-	UnixTime       int64  `json:"unix_time"`
+	// CacheDuplicateGenerations counts generations that lost a
+	// concurrent-miss race on one key (work done, result discarded) and
+	// CacheWastedBytes the size of those discarded matrices.
+	CacheHits                 uint64 `json:"cache_hits"`
+	CacheMisses               uint64 `json:"cache_misses"`
+	CacheEvictions            uint64 `json:"cache_evictions"`
+	CacheDuplicateGenerations uint64 `json:"cache_duplicate_generations"`
+	CacheWastedBytes          uint64 `json:"cache_wasted_bytes"`
+	UnixTime                  int64  `json:"unix_time"`
 }
 
 // Bench measures one experiment twice - once on the serial reference
@@ -97,21 +102,23 @@ func Bench(cfg Config, id string) (*BenchRecord, error) {
 	visits := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Misses - cacheBefore.Misses)
 
 	rec := &BenchRecord{
-		Experiment:     id,
-		Scale:          cfg.Scale,
-		Stride:         cfg.Stride,
-		MaxMatrices:    cfg.MaxMatrices,
-		GoMaxProcs:     runtime.GOMAXPROCS(0),
-		Parallelism:    cfg.Parallelism,
-		SerialSec:      serialSec,
-		ParallelSec:    parSec,
-		Matrices:       cfg.MatrixCount(),
-		MatrixVisits:   visits,
-		SimulatedGFLOP: gflop,
-		CacheHits:      cacheAfter.Hits - cacheBefore.Hits,
-		CacheMisses:    cacheAfter.Misses - cacheBefore.Misses,
-		CacheEvictions: cacheAfter.Evictions - cacheBefore.Evictions,
-		UnixTime:       time.Now().Unix(),
+		Experiment:                id,
+		Scale:                     cfg.Scale,
+		Stride:                    cfg.Stride,
+		MaxMatrices:               cfg.MaxMatrices,
+		GoMaxProcs:                runtime.GOMAXPROCS(0),
+		Parallelism:               cfg.Parallelism,
+		SerialSec:                 serialSec,
+		ParallelSec:               parSec,
+		Matrices:                  cfg.MatrixCount(),
+		MatrixVisits:              visits,
+		SimulatedGFLOP:            gflop,
+		CacheHits:                 cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:               cacheAfter.Misses - cacheBefore.Misses,
+		CacheEvictions:            cacheAfter.Evictions - cacheBefore.Evictions,
+		CacheDuplicateGenerations: cacheAfter.DuplicateGenerations - cacheBefore.DuplicateGenerations,
+		CacheWastedBytes:          cacheAfter.WastedBytes - cacheBefore.WastedBytes,
+		UnixTime:                  time.Now().Unix(),
 	}
 	if parSec > 0 {
 		rec.Speedup = serialSec / parSec

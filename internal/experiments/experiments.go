@@ -16,11 +16,29 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/stats"
+)
+
+// Experiment-harness observability (internal/obs): per-cell wall time
+// and pool occupancy via cellPool, matrix fetch counts/latency via the
+// matrix metrics. Snapshot consumers divide the counters by the
+// snapshot's wall_seconds for cells/sec and matrices/sec. Write-only:
+// the determinism tests prove tables are byte-identical with metrics
+// on or off.
+var (
+	// cellPool fans independent (matrix, configuration) cells out and
+	// records experiments.cell.tasks, experiments.cell.task_seconds and
+	// experiments.cell.occupancy.
+	cellPool = obs.Default.Pool("experiments.cell")
+	// matrixVisits counts matrix fetches (cache hit or generation) and
+	// matrixFetch times them.
+	matrixVisits = obs.Default.Counter("experiments.matrix.visits")
+	matrixFetch  = obs.Default.Timer("experiments.matrix.fetch_seconds")
 )
 
 // Config controls experiment scale and engine resources.
@@ -53,6 +71,11 @@ type Config struct {
 	// a package-wide cache with DefaultMatrixCacheBytes of budget; a
 	// zero-budget cache disables memoisation.
 	MatrixCache *sparse.MatrixCache
+	// Span, when set, is the parent trace span (typically the
+	// experiment's): matrix and cell child spans nest under it and
+	// per-UE walks roll up inside each cell (internal/obs). Purely
+	// observational - output is identical with or without it.
+	Span *obs.Span
 }
 
 // DefaultMatrixCacheBytes bounds the shared generated-matrix cache: large
@@ -139,16 +162,31 @@ func (c Config) simOptions(o sim.Options) sim.Options {
 	return o
 }
 
+// fetchMatrix pulls one matrix through the cache under the harness's
+// fetch accounting.
+func (c Config) fetchMatrix(e sparse.TestbedEntry) *sparse.CSR {
+	start := time.Now()
+	a := c.matrixCache().Get(e, c.Scale)
+	matrixFetch.Observe(time.Since(start))
+	matrixVisits.Add(1)
+	return a
+}
+
 // forEachMatrix fetches each selected matrix at the configured scale
 // (generating on a cache miss), invokes fn, and lets the LRU budget decide
 // what stays resident before the next one (the full-scale testbed would
 // not fit in memory all at once). Matrices handed to fn are shared and
-// must be treated as read-only.
-func (c Config) forEachMatrix(fn func(e sparse.TestbedEntry, a *sparse.CSR) error) error {
-	cache := c.matrixCache()
+// must be treated as read-only. fn receives a copy of the configuration
+// whose Span is the per-matrix child span, so runGrid calls made through
+// it nest their cell spans under the matrix.
+func (c Config) forEachMatrix(fn func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error) error {
 	for _, e := range c.entries() {
-		a := cache.Get(e, c.Scale)
-		if err := fn(e, a); err != nil {
+		mc := c
+		mc.Span = c.Span.StartChild("matrix:" + e.Name)
+		a := c.fetchMatrix(e)
+		err := fn(mc, e, a)
+		mc.Span.End()
+		if err != nil {
 			return fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
 		}
 	}
@@ -167,6 +205,15 @@ func oneMachine(m *sim.Machine, opts sim.Options) sweepCell {
 	return sweepCell{machines: []*sim.Machine{m}, opts: opts}
 }
 
+// cellOptions threads engine parallelism and a per-cell child span into
+// one cell's sim options.
+func (c Config) cellOptions(o sim.Options) (sim.Options, *obs.Span) {
+	o = c.simOptions(o)
+	sp := c.Span.StartChild("cell")
+	o.Span = sp
+	return o, sp
+}
+
 // runGrid simulates every cell on matrix a, fanning independent cells out
 // over the host pool. results[ci][j] is cell ci under the cell's machine
 // j, bit-identical to serial individual runs regardless of pool size.
@@ -179,20 +226,25 @@ func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, erro
 		results := make([][]*sim.Result, len(cells))
 		for ci, cell := range cells {
 			results[ci] = make([]*sim.Result, len(cell.machines))
+			opts, sp := c.cellOptions(cell.opts)
 			for j, m := range cell.machines {
-				r, err := m.RunSpMV(a, nil, c.simOptions(cell.opts))
+				r, err := m.RunSpMV(a, nil, opts)
 				if err != nil {
+					sp.End()
 					return nil, err
 				}
 				results[ci][j] = r
 			}
+			sp.End()
 		}
 		return results, nil
 	}
 	results := make([][]*sim.Result, len(cells))
 	errs := make([]error, len(cells))
-	forEachCell(len(cells), c.workers(), func(ci int) {
-		results[ci], errs[ci] = sim.RunSpMVSweep(cells[ci].machines, a, nil, c.simOptions(cells[ci].opts))
+	cellPool.ForEach(len(cells), c.workers(), func(ci int) {
+		opts, sp := c.cellOptions(cells[ci].opts)
+		results[ci], errs[ci] = sim.RunSpMVSweep(cells[ci].machines, a, nil, opts)
+		sp.End()
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -215,10 +267,12 @@ func (c Config) gridMeans(cells []sweepCell) ([][]float64, error) {
 			vals[ci][j] = make([]float64, len(entries))
 		}
 	}
-	cache := c.matrixCache()
 	for mi, e := range entries {
-		a := cache.Get(e, c.Scale)
-		rs, err := c.runGrid(a, cells)
+		mc := c
+		mc.Span = c.Span.StartChild("matrix:" + e.Name)
+		a := c.fetchMatrix(e)
+		rs, err := mc.runGrid(a, cells)
+		mc.Span.End()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
 		}
@@ -246,36 +300,6 @@ func (c Config) meanMFLOPS(m *sim.Machine, opts sim.Options) (float64, error) {
 		return 0, err
 	}
 	return means[0][0], nil
-}
-
-// forEachCell runs fn(i) for every cell index on up to workers
-// goroutines; workers <= 1 runs inline in index order.
-func forEachCell(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
 }
 
 // Experiment is one regenerable artefact.

@@ -40,8 +40,8 @@ func runFig6(cfg Config) ([]*stats.Table, error) {
 	}
 	// Matrix-outer: each matrix is generated once and its three core
 	// counts run concurrently on the host pool.
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-		rs, err := cfg.runGrid(a, cells)
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
+		rs, err := mc.runGrid(a, cells)
 		if err != nil {
 			return err
 		}

@@ -42,8 +42,8 @@ func runFig8(cfg Config) ([]*stats.Table, error) {
 			oneMachine(m, sim.Options{Mapping: mapping, Variant: sim.KernelNoXMiss}))
 	}
 	// Matrix-outer: one generation per matrix, six cells on the host pool.
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-		rs, err := cfg.runGrid(a, cells)
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
+		rs, err := mc.runGrid(a, cells)
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func runAnalysisLocality(cfg Config) ([]*stats.Table, error) {
 		"#", "matrix", "class", "x hit@L1", "x hit@L2", "MFLOPS", "no-x speedup",
 	)
 	var rows []localityRow
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
 		prof := trace.XLineTrace(a, scc.CacheLineBytes)
 		std, err := m.RunSpMV(a, nil, sim.Options{Mapping: scc.Mapping{core}})
 		if err != nil {

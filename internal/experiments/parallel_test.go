@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -62,6 +64,87 @@ func TestExperimentsBitIdenticalUnderParallelism(t *testing.T) {
 				t.Errorf("parallel engine output differs from sequential reference:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
 			}
 		})
+	}
+}
+
+// TestExperimentsBitIdenticalWithMetricsOff proves the observability
+// layer is write-only at the experiment level: disabling the metrics
+// registry (counters, pools, spans) renders byte-identical tables at
+// Parallelism 1 and 0. Not t.Parallel: it toggles the process-wide
+// registry, and must not overlap tests that assert recorded metrics.
+func TestExperimentsBitIdenticalWithMetricsOff(t *testing.T) {
+	for _, id := range []string{"fig5", "fig9"} {
+		for _, parallelism := range []int{1, 0} {
+			cfg := testConfig()
+			cfg.Parallelism = parallelism
+			cfg.MatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+
+			span := obs.Default.StartSpan("test:" + id)
+			sCfg := cfg
+			sCfg.Span = span
+			on := renderAll(t, id, sCfg)
+			span.End()
+
+			obs.Default.SetEnabled(false)
+			off := renderAll(t, id, cfg)
+			obs.Default.SetEnabled(true)
+
+			if on != off {
+				t.Errorf("%s parallelism=%d: tables differ with metrics disabled:\n--- on ---\n%s\n--- off ---\n%s",
+					id, parallelism, on, off)
+			}
+		}
+	}
+}
+
+// TestEngineMetricsRecorded runs one experiment and checks the
+// observability layer saw the engine's work: UE walks, cells, matrix
+// fetches, cache traffic, simulated flops and controller contention all
+// advance. Not t.Parallel (reads the process-wide registry around a
+// bounded region also touched by TestExperimentsBitIdenticalWithMetricsOff).
+func TestEngineMetricsRecorded(t *testing.T) {
+	before := obs.Default.Snapshot()
+	cfg := testConfig()
+	cfg.MatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+	cfg.Span = obs.Default.StartSpan("test:metrics-recorded")
+	renderAll(t, "fig9", cfg)
+	cfg.Span.End()
+	after := obs.Default.Snapshot()
+
+	for _, name := range []string{
+		"sim.flops.simulated",
+		"sim.sweep.runs",
+		"sim.sweep.machine_runs",
+		"sim.ue_walk.tasks",
+		"experiments.cell.tasks",
+		"experiments.matrix.visits",
+		"sparse.matrix_cache.misses",
+	} {
+		if after.Counters[name] <= before.Counters[name] {
+			t.Errorf("counter %s did not advance: %d -> %d", name, before.Counters[name], after.Counters[name])
+		}
+	}
+	if after.Samples["sim.ue_walk.occupancy"].Count <= before.Samples["sim.ue_walk.occupancy"].Count {
+		t.Error("pool occupancy never sampled")
+	}
+	if after.Timers["experiments.cell.task_seconds"].Count <= before.Timers["experiments.cell.task_seconds"].Count {
+		t.Error("per-cell wall time never recorded")
+	}
+	contended := false
+	for name, st := range after.Samples {
+		if strings.HasPrefix(name, "mem.mc") && st.Count > before.Samples[name].Count {
+			contended = true
+		}
+	}
+	if !contended {
+		t.Error("no controller contention samples recorded")
+	}
+	// The sweep path must actually share walks: fig9 prices 3 machines
+	// per invocation.
+	runs := after.Counters["sim.sweep.runs"] - before.Counters["sim.sweep.runs"]
+	priced := after.Counters["sim.sweep.machine_runs"] - before.Counters["sim.sweep.machine_runs"]
+	if priced != 3*runs {
+		t.Errorf("sweep-share factor off: %d machine runs over %d sweeps, want 3x", priced, runs)
 	}
 }
 

@@ -47,8 +47,8 @@ func runAnalysisScaling(cfg Config) ([]*stats.Table, error) {
 		cells = append(cells, oneMachine(m, sim.Options{Mapping: scc.DistanceReductionMapping(n)}))
 	}
 	superlinear := 0
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
-		rs, err := cfg.runGrid(a, cells)
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
+		rs, err := mc.runGrid(a, cells)
 		if err != nil {
 			return err
 		}
@@ -86,7 +86,7 @@ func runAnalysisDistributed(cfg Config) ([]*stats.Table, error) {
 		"Analysis - distributed SpMV halo exchange (24 cores, conf0)",
 		"#", "matrix", "volume bynnz", "volume bfs", "exch bynnz (µs)", "exch bfs (µs)", "compute (µs)", "comm share bfs",
 	)
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
 		compute, err := m.RunSpMV(a, nil, sim.Options{Mapping: mapping})
 		if err != nil {
 			return err

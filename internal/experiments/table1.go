@@ -31,7 +31,7 @@ func runTable1(cfg Config) ([]*stats.Table, error) {
 		"#", "Matrix", "n", "nnz", "nnz/n", "ws (MB)",
 		"gen n", "gen nnz", "gen nnz/n", "gen ws (MB)", "class",
 	)
-	err := cfg.forEachMatrix(func(e sparse.TestbedEntry, a *sparse.CSR) error {
+	err := cfg.forEachMatrix(func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error {
 		t.AddRow(
 			e.ID, e.Name, e.N, e.NNZ, e.NNZPerRow(), e.WorkingSetMB(),
 			a.Rows, a.NNZ(), a.NNZPerRow(), a.WorkingSetMB(), string(e.Class),

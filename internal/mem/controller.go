@@ -11,6 +11,8 @@ package mem
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Controller describes one DDR3 memory controller.
@@ -77,6 +79,35 @@ type CoreDemand struct {
 // linear queueing delay up to saturation, pure bandwidth rationing beyond.
 const queueingCoeff = 0.30
 
+// Per-controller contention observability (internal/obs): the
+// distribution of slowdown factors and utilisations each SCC memory
+// controller hands out. Controllers outside the SCC's 0..3 range fold
+// into one overflow series. Write-only: never read back by the model.
+var (
+	mcSlowdown = [5]*obs.Sample{
+		obs.Default.Sample("mem.mc0.slowdown"),
+		obs.Default.Sample("mem.mc1.slowdown"),
+		obs.Default.Sample("mem.mc2.slowdown"),
+		obs.Default.Sample("mem.mc3.slowdown"),
+		obs.Default.Sample("mem.mc_other.slowdown"),
+	}
+	mcUtilization = [5]*obs.Sample{
+		obs.Default.Sample("mem.mc0.utilization"),
+		obs.Default.Sample("mem.mc1.utilization"),
+		obs.Default.Sample("mem.mc2.utilization"),
+		obs.Default.Sample("mem.mc3.utilization"),
+		obs.Default.Sample("mem.mc_other.utilization"),
+	}
+)
+
+// obsSeries maps a controller ID onto its metric slot.
+func obsSeries(id int) int {
+	if id >= 0 && id < 4 {
+		return id
+	}
+	return 4
+}
+
 // Slowdown returns the factor (>= 1) by which memory-bound time stretches
 // when the given per-core demands share controller c. Cores run
 // concurrently over the window of the slowest core; their combined read and
@@ -86,7 +117,11 @@ const queueingCoeff = 0.30
 func Slowdown(c Controller, demands []CoreDemand) float64 {
 	u := Utilization(c, demands)
 	queued := 1 + queueingCoeff*math.Min(u, 1)
-	return math.Max(queued, u)
+	s := math.Max(queued, u)
+	i := obsSeries(c.ID)
+	mcSlowdown[i].Observe(s)
+	mcUtilization[i].Observe(u)
+	return s
 }
 
 // Utilization returns the controller's demand/capacity ratio (can be < 1,

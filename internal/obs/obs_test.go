@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("a.count")
+	c.Add(3)
+	c.Add(2)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Load())
+	}
+	var nilC *Counter
+	var nilG *Gauge
+	nilC.Add(1) // nil metrics must be safe no-ops
+	nilG.Set(1)
+	if nilC.Load() != 0 || nilG.Load() != 0 {
+		t.Fatal("nil metric loads must be zero")
+	}
+}
+
+func TestSampleAndTimerStats(t *testing.T) {
+	r := New()
+	s := r.Sample("s")
+	for _, v := range []float64{2, 8, 5} {
+		s.Observe(v)
+	}
+	st := s.Stats()
+	if st.Count != 3 || st.Sum != 15 || st.Min != 2 || st.Max != 8 || st.Mean != 5 {
+		t.Fatalf("sample stats = %+v", st)
+	}
+	tm := r.Timer("t")
+	tm.Observe(100 * time.Millisecond)
+	tm.Observe(300 * time.Millisecond)
+	ts := tm.Stats()
+	if ts.Count != 2 || ts.Min < 0.09 || ts.Max > 0.31 || ts.Sum < 0.39 || ts.Sum > 0.41 {
+		t.Fatalf("timer stats = %+v", ts)
+	}
+	if (&Sample{}).Stats().Count != 0 {
+		t.Fatal("zero sample must report empty stats")
+	}
+}
+
+func TestDisabledRegistryDropsObservations(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	s := r.Sample("s")
+	g := r.Gauge("g")
+	c.Add(1)
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("registry should report disabled")
+	}
+	c.Add(10)
+	s.Observe(4)
+	g.Set(9)
+	if sp := r.StartSpan("root"); sp != nil {
+		t.Fatal("disabled registry must hand out nil spans")
+	}
+	r.SetEnabled(true)
+	if c.Load() != 1 {
+		t.Fatalf("disabled counter advanced: %d", c.Load())
+	}
+	if s.Stats().Count != 0 || g.Load() != 0 {
+		t.Fatal("disabled sample/gauge recorded")
+	}
+	c.Add(2)
+	if c.Load() != 3 {
+		t.Fatal("re-enabled counter must record again")
+	}
+}
+
+func TestCountersAreConcurrencySafe(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("x.count").Add(42)
+	r.Gauge("x.gauge").Set(-3)
+	r.Timer("x.timer").Observe(time.Millisecond)
+	r.Sample("x.sample").Observe(1.5)
+	sp := r.StartSpan("run")
+	sp.StartChild("phase").End()
+	sp.Record("leaf", 2*time.Millisecond)
+	sp.End()
+
+	blob, err := r.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap SnapshotData
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v\n%s", err, blob)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if snap.Counters["x.count"] != 42 || snap.Gauges["x.gauge"] != -3 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+	if snap.Timers["x.timer"].Count != 1 || snap.Samples["x.sample"].Count != 1 {
+		t.Fatalf("distributions missing: %+v", snap)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "run" {
+		t.Fatalf("spans missing: %+v", snap.Spans)
+	}
+	root := snap.Spans[0]
+	if len(root.Children) != 1 || root.Children[0].Name != "phase" {
+		t.Fatalf("span children wrong: %+v", root)
+	}
+	if root.Rollup["leaf"].Count != 1 {
+		t.Fatalf("span rollup wrong: %+v", root.Rollup)
+	}
+	if snap.WallSeconds < 0 {
+		t.Fatalf("wall seconds negative: %v", snap.WallSeconds)
+	}
+}
+
+func TestCounterNamesSorted(t *testing.T) {
+	r := New()
+	r.Counter("b")
+	r.Counter("a")
+	r.Counter("c")
+	names := r.CounterNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestReporterTick(t *testing.T) {
+	r := New()
+	r.Counter("work.done").Add(12345)
+	r.Counter("silent") // zero counters stay off the heartbeat
+	var buf strings.Builder
+	rep := NewReporter(r, &buf, time.Second)
+	rep.tick()
+	line := buf.String()
+	if !strings.Contains(line, "[obs]") || !strings.Contains(line, "work.done=12.3k") {
+		t.Fatalf("heartbeat line = %q", line)
+	}
+	if strings.Contains(line, "silent") {
+		t.Fatalf("zero counter reported: %q", line)
+	}
+}
+
+func TestReporterStartStop(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(1)
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	rep := NewReporter(r, w, 100*time.Millisecond)
+	rep.Start()
+	rep.Start() // double start is a no-op
+	rep.Stop()  // emits a final line even if no tick elapsed
+	rep.Stop()  // double stop is a no-op
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(buf.String(), "c=1") {
+		t.Fatalf("no final heartbeat: %q", buf.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the one instrumented fan-out helper the engine uses for both
+// per-UE simulation (internal/sim) and per-cell experiment grids
+// (internal/experiments). It replaces the previously duplicated
+// forEachRank/forEachCell helpers with identical scheduling semantics:
+//
+//   - workers <= 1 runs every task inline in index order - the serial
+//     reference path the determinism tests pin down;
+//   - workers > 1 fans tasks over at most that many goroutines.
+//
+// Instrumentation is write-only (task count, per-task duration,
+// concurrent-occupancy distribution) and cannot influence task order,
+// results, or which path runs.
+type Pool struct {
+	// Tasks counts completed tasks; TaskTime is the per-task duration
+	// distribution (for sim.ue_walk this is the per-UE walk time, for
+	// experiments.cell the per-cell wall time).
+	Tasks    *Counter
+	TaskTime *Timer
+	// Occupancy samples the number of concurrently running tasks at
+	// each task start; its max is the pool's high-water mark.
+	Occupancy *Sample
+
+	busy atomic.Int64
+}
+
+// Pool returns an instrumented pool registering its metrics as
+// <prefix>.tasks, <prefix>.task_seconds and <prefix>.occupancy.
+func (r *Registry) Pool(prefix string) *Pool {
+	return &Pool{
+		Tasks:     r.Counter(prefix + ".tasks"),
+		TaskTime:  r.Timer(prefix + ".task_seconds"),
+		Occupancy: r.Sample(prefix + ".occupancy"),
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls over at
+// most workers goroutines. fn must be safe to call concurrently for
+// distinct indices when workers > 1.
+func (p *Pool) ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			p.run(i, fn)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p.run(i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// run executes one task under the pool's accounting.
+func (p *Pool) run(i int, fn func(int)) {
+	cur := p.busy.Add(1)
+	p.Occupancy.Observe(float64(cur))
+	start := time.Now()
+	fn(i)
+	p.TaskTime.Observe(time.Since(start))
+	p.Tasks.Add(1)
+	p.busy.Add(-1)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// The serial path (workers <= 1) must run tasks inline in index order -
+// it is the engine's determinism oracle.
+func TestPoolSerialRunsInOrder(t *testing.T) {
+	r := New()
+	p := r.Pool("test.pool")
+	var order []int
+	p.ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d tasks, want 5", len(order))
+	}
+	if p.Tasks.Load() != 5 {
+		t.Fatalf("tasks counter = %d, want 5", p.Tasks.Load())
+	}
+	if st := p.Occupancy.Stats(); st.Max != 1 {
+		t.Fatalf("serial occupancy max = %v, want 1", st.Max)
+	}
+}
+
+// The parallel path must run every index exactly once and never exceed
+// the worker bound.
+func TestPoolParallelCoversAllIndices(t *testing.T) {
+	r := New()
+	p := r.Pool("test.pool")
+	const n, workers = 100, 4
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	p.ForEach(n, workers, func(i int) {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+	})
+	if len(seen) != n {
+		t.Fatalf("covered %d indices, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	if p.Tasks.Load() != n {
+		t.Fatalf("tasks counter = %d, want %d", p.Tasks.Load(), n)
+	}
+	st := p.Occupancy.Stats()
+	if st.Count != n || st.Max > workers || st.Min < 1 {
+		t.Fatalf("occupancy stats = %+v (workers %d)", st, workers)
+	}
+	if tt := p.TaskTime.Stats(); tt.Count != n {
+		t.Fatalf("task timer count = %d, want %d", tt.Count, n)
+	}
+}
+
+// More workers than tasks must clamp, not deadlock.
+func TestPoolClampsWorkersToTasks(t *testing.T) {
+	r := New()
+	p := r.Pool("test.pool")
+	ran := 0
+	var mu sync.Mutex
+	p.ForEach(2, 16, func(i int) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+	})
+	if ran != 2 {
+		t.Fatalf("ran %d tasks, want 2", ran)
+	}
+}
+
+// Zero tasks is a no-op on both paths.
+func TestPoolZeroTasks(t *testing.T) {
+	r := New()
+	p := r.Pool("test.pool")
+	p.ForEach(0, 1, func(int) { t.Fatal("serial fn called") })
+	p.ForEach(0, 8, func(int) { t.Fatal("parallel fn called") })
+	if p.Tasks.Load() != 0 {
+		t.Fatalf("tasks = %d, want 0", p.Tasks.Load())
+	}
+}
+
+// A disabled registry must still execute every task - only the
+// accounting stops.
+func TestPoolRunsTasksWhenDisabled(t *testing.T) {
+	r := New()
+	r.SetEnabled(false)
+	p := r.Pool("test.pool")
+	ran := 0
+	p.ForEach(3, 1, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("ran %d tasks, want 3", ran)
+	}
+	if p.Tasks.Load() != 0 {
+		t.Fatal("disabled pool still counted tasks")
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reporter periodically writes a one-line heartbeat of the registry's
+// counters (current value plus the rate over the last interval) - the
+// -progress stream of cmd/sccsim. It only ever reads metrics, so it
+// cannot perturb the engine.
+type Reporter struct {
+	reg      *Registry
+	w        io.Writer
+	interval time.Duration
+
+	mu   sync.Mutex
+	prev map[string]uint64
+	last time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReporter builds a reporter over reg writing to w every interval
+// (minimum 100ms; a non-positive interval defaults to 1s).
+func NewReporter(reg *Registry, w io.Writer, interval time.Duration) *Reporter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return &Reporter{
+		reg:      reg,
+		w:        w,
+		interval: interval,
+		prev:     make(map[string]uint64),
+		last:     time.Now(),
+	}
+}
+
+// Start launches the heartbeat goroutine. Stop it with Stop; starting
+// twice is a no-op.
+func (r *Reporter) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.tick()
+			}
+		}
+	}(r.stop, r.done)
+}
+
+// Stop halts the heartbeat, emitting one final line so short runs still
+// report.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	r.tick()
+}
+
+// tick writes one heartbeat line: elapsed wall time followed by every
+// nonzero counter as name=value(+rate/s).
+func (r *Reporter) tick() {
+	snap := r.reg.Snapshot()
+	now := time.Now()
+
+	r.mu.Lock()
+	dt := now.Sub(r.last).Seconds()
+	names := make([]string, 0, len(snap.Counters))
+	for n, v := range snap.Counters {
+		if v > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "[obs] t=%.1fs", snap.WallSeconds)
+	for _, n := range names {
+		v := snap.Counters[n]
+		fmt.Fprintf(&b, " %s=%s", n, compact(v))
+		if dt > 0 {
+			if d := v - r.prev[n]; d > 0 {
+				fmt.Fprintf(&b, "(+%s/s)", compact(uint64(float64(d)/dt+0.5)))
+			}
+		}
+		r.prev[n] = v
+	}
+	r.last = now
+	r.mu.Unlock()
+
+	fmt.Fprintln(r.w, b.String())
+}
+
+// compact renders large counts with a k/M/G suffix to keep the
+// heartbeat line readable.
+func compact(v uint64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 10e3:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

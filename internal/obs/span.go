@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxSpanChildren bounds the explicit children kept per span; beyond
+// the cap, children only contribute to the per-name rollup (so a
+// 48-UE cell or a 32-matrix experiment stays readable in JSON while
+// the aggregate totals remain exact).
+const maxSpanChildren = 64
+
+// Span is one timed region of a hierarchical trace. All methods are
+// nil-safe: a disabled registry hands out nil spans and the
+// instrumentation sites need no guards.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	durSec   float64
+	ended    bool
+	children []*Span
+	dropped  int
+	rollup   map[string]*rollupEntry
+
+	// capped links a child that exceeded its parent's explicit-children
+	// cap back to the parent: on End its duration folds into the
+	// parent's rollup instead, keeping aggregate totals exact.
+	capped *Span
+}
+
+type rollupEntry struct {
+	count  uint64
+	totSec float64
+}
+
+// StartSpan opens a root span and tracks it in the registry so the
+// snapshot can render the trace. Returns nil when recording is off.
+func (r *Registry) StartSpan(name string) *Span {
+	if r.disabled.Load() {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// StartChild opens a child span. On a nil parent it returns nil, so a
+// whole disabled subtree costs nothing.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	if len(s.children) < maxSpanChildren {
+		s.children = append(s.children, c)
+	} else {
+		s.dropped++
+		c.capped = s
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, freezing its duration. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	var done time.Duration
+	report := false
+	if !s.ended {
+		done = time.Since(s.start)
+		s.ended = true
+		s.durSec = done.Seconds()
+		report = s.capped != nil
+	}
+	s.mu.Unlock()
+	if report {
+		s.capped.Record(s.name, done)
+	}
+}
+
+// Record folds one timed event into the span's per-name rollup without
+// allocating a child node - the aggregation level for high-cardinality
+// leaves like per-UE walks (count and total seconds stay exact).
+func (s *Span) Record(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rollup == nil {
+		s.rollup = make(map[string]*rollupEntry)
+	}
+	e, ok := s.rollup[name]
+	if !ok {
+		e = &rollupEntry{}
+		s.rollup[name] = e
+	}
+	e.count++
+	e.totSec += d.Seconds()
+	s.mu.Unlock()
+}
+
+// SpanSnapshot is the JSON form of a span subtree.
+type SpanSnapshot struct {
+	Name     string                  `json:"name"`
+	Seconds  float64                 `json:"seconds"`
+	Running  bool                    `json:"running,omitempty"`
+	Children []*SpanSnapshot         `json:"children,omitempty"`
+	Dropped  int                     `json:"dropped_children,omitempty"`
+	Rollup   map[string]RollupCounts `json:"rollup,omitempty"`
+}
+
+// RollupCounts aggregates same-named events recorded under a span.
+type RollupCounts struct {
+	Count   uint64  `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (s *Span) snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &SpanSnapshot{Name: s.name, Seconds: s.durSec, Dropped: s.dropped}
+	if !s.ended {
+		out.Running = true
+		out.Seconds = time.Since(s.start).Seconds()
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	if len(s.rollup) > 0 {
+		out.Rollup = make(map[string]RollupCounts, len(s.rollup))
+		for n, e := range s.rollup {
+			out.Rollup[n] = RollupCounts{Count: e.count, Seconds: e.totSec}
+		}
+	}
+	return out
+}

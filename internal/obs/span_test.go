@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	r := New()
+	run := r.StartSpan("run")
+	exp := run.StartChild("exp:fig9")
+	mat := exp.StartChild("matrix:F1")
+	cell := mat.StartChild("cell")
+	cell.Record("ue-walk", 3*time.Millisecond)
+	cell.Record("ue-walk", 5*time.Millisecond)
+	cell.End()
+	mat.End()
+	exp.End()
+	run.End()
+
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("roots = %d, want 1", len(snap.Spans))
+	}
+	c := snap.Spans[0].Children[0].Children[0].Children[0]
+	if c.Name != "cell" {
+		t.Fatalf("leaf = %q, want cell", c.Name)
+	}
+	ru := c.Rollup["ue-walk"]
+	if ru.Count != 2 || ru.Seconds < 0.007 {
+		t.Fatalf("ue-walk rollup = %+v", ru)
+	}
+	if c.Running {
+		t.Fatal("ended span reported running")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x") // nil parent -> nil child, no panic
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	c.Record("y", time.Millisecond)
+	c.End()
+	s.End()
+}
+
+func TestSpanChildCapFoldsIntoRollup(t *testing.T) {
+	r := New()
+	root := r.StartSpan("run")
+	for i := 0; i < maxSpanChildren+10; i++ {
+		c := root.StartChild("cell")
+		c.End()
+	}
+	root.End()
+	snap := root.snapshot()
+	if len(snap.Children) != maxSpanChildren {
+		t.Fatalf("children = %d, want cap %d", len(snap.Children), maxSpanChildren)
+	}
+	if snap.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", snap.Dropped)
+	}
+	// The 10 capped children still contribute their timings exactly,
+	// via the parent rollup.
+	if snap.Rollup["cell"].Count != 10 {
+		t.Fatalf("rollup = %+v, want 10 capped cells", snap.Rollup)
+	}
+}
+
+func TestSpanDoubleEndKeepsFirstDuration(t *testing.T) {
+	r := New()
+	s := r.StartSpan("s")
+	s.End()
+	first := s.snapshot().Seconds
+	time.Sleep(5 * time.Millisecond)
+	s.End()
+	if got := s.snapshot().Seconds; got != first {
+		t.Fatalf("second End changed duration: %v -> %v", first, got)
+	}
+}
+
+func TestRunningSpanReportsElapsed(t *testing.T) {
+	r := New()
+	s := r.StartSpan("s")
+	time.Sleep(2 * time.Millisecond)
+	snap := s.snapshot()
+	if !snap.Running || snap.Seconds <= 0 {
+		t.Fatalf("running span snapshot = %+v", snap)
+	}
+	s.End()
+}

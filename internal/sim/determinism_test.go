@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/scc"
 	"repro/internal/sparse"
 )
@@ -100,5 +101,86 @@ func TestNegativeParallelismRejected(t *testing.T) {
 	m := NewMachine(scc.Conf0)
 	if _, err := m.RunSpMV(fixSmall, nil, Options{UEs: 2, Parallelism: -1}); err == nil {
 		t.Error("negative parallelism accepted")
+	}
+}
+
+// Observability is write-only: disabling the metrics registry (and
+// running with or without a trace span) must leave every Result
+// bit-identical at every parallelism level. Not t.Parallel: it toggles
+// the process-wide registry.
+func TestMetricsOnOffBitIdentical(t *testing.T) {
+	m := NewMachine(scc.Conf0)
+	for _, a := range []*sparse.CSR{fixSmall, fixIrr} {
+		for _, workers := range []int{1, 0} {
+			opts := Options{
+				Mapping:     scc.DistanceReductionMapping(24),
+				Parallelism: workers,
+			}
+			on, err := m.RunSpMV(a, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			span := obs.Default.StartSpan("test-run")
+			spanOpts := opts
+			spanOpts.Span = span
+			traced, err := m.RunSpMV(a, nil, spanOpts)
+			span.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(on, traced) {
+				t.Fatalf("%s workers=%d: span-traced result differs", a.Name, workers)
+			}
+
+			obs.Default.SetEnabled(false)
+			off, err := m.RunSpMV(a, nil, opts)
+			obs.Default.SetEnabled(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("%s workers=%d: metrics-off result differs from metrics-on", a.Name, workers)
+			}
+		}
+	}
+}
+
+// Every Result of a sweep must own its product vector: no sharing
+// between machines, and no aliasing of the engine's scratch buffer.
+func TestSweepResultsOwnTheirY(t *testing.T) {
+	machines := []*Machine{NewMachine(scc.Conf0), NewMachine(scc.Conf1)}
+	opts := Options{Mapping: scc.DistanceReductionMapping(8)}
+	rs, err := RunSpMVSweep(machines, fixSmall, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs[0].Y) == 0 || len(rs[1].Y) == 0 {
+		t.Fatal("sweep returned empty product vectors")
+	}
+	if &rs[0].Y[0] == &rs[1].Y[0] {
+		t.Fatal("sweep results share one Y backing array")
+	}
+	want := rs[1].Y[0]
+	rs[0].Y[0] = want + 42 // mutating one result must not leak anywhere
+	if rs[1].Y[0] != want {
+		t.Fatal("mutation of results[0].Y corrupted results[1].Y")
+	}
+	solo, err := machines[1].RunSpMV(fixSmall, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo.Y, rs[1].Y) {
+		t.Fatal("sweep Y differs from single-run Y")
+	}
+}
+
+// The stream batcher's line shift must track the cache simulator's line
+// size (the const guards in spmv.go enforce this at compile time; this
+// is the runtime witness).
+func TestLineShiftMatchesCacheLine(t *testing.T) {
+	if 1<<lineShift != scc.CacheLineBytes {
+		t.Fatalf("lineShift %d encodes %d-byte lines, scc.CacheLineBytes = %d",
+			lineShift, 1<<lineShift, scc.CacheLineBytes)
 	}
 }

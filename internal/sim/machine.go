@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/scc"
 	"repro/internal/sparse"
@@ -130,6 +131,10 @@ type Options struct {
 	// setting produces bit-identical results; 1 is kept as the
 	// determinism oracle and for debugging.
 	Parallelism int
+	// Span, when set, receives per-UE walk timings as "ue-walk" rollup
+	// entries (internal/obs). Observability is write-only: a nil or
+	// non-nil span never changes any Result.
+	Span *obs.Span
 }
 
 func (o *Options) normalize() error {

@@ -3,21 +3,33 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/scc"
 	"repro/internal/sparse"
 )
 
-// simulatedFLOPs counts the useful floating-point operations of every
-// simulated kernel delivered by the engine (2·nnz per Result). It is a
-// process-wide observability counter for benchmarks and the perf record;
-// it never feeds back into simulation results.
-var simulatedFLOPs atomic.Uint64
+// Engine observability (see internal/obs): every metric below is
+// write-only from the simulation's point of view - it never feeds back
+// into results, and the determinism tests prove bit-identical output
+// with metrics enabled or disabled at every parallelism level.
+var (
+	// simulatedFLOPs counts the useful floating-point operations of
+	// every simulated kernel delivered by the engine (2·nnz per Result).
+	simulatedFLOPs = obs.Default.Counter("sim.flops.simulated")
+	// sweepRuns counts RunSpMVSweep invocations and sweepMachineRuns the
+	// machine configurations they priced; machineRuns/runs is the
+	// sweep-share factor (cache walks saved per invocation).
+	sweepRuns        = obs.Default.Counter("sim.sweep.runs")
+	sweepMachineRuns = obs.Default.Counter("sim.sweep.machine_runs")
+	// uePool fans per-UE cache walks out and records sim.ue_walk.tasks,
+	// sim.ue_walk.task_seconds and sim.ue_walk.occupancy.
+	uePool = obs.Default.Pool("sim.ue_walk")
+)
 
 // SimulatedFLOPs returns the cumulative simulated-kernel flop count. The
 // difference of two readings divided by wall time is the engine's
@@ -93,17 +105,21 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 	y := make([]float64, a.Rows)
 	lay := layoutFor(a)
 
-	forEachRank(opts.UEs, opts.workers(), func(rank int) {
+	uePool.ForEach(opts.UEs, opts.workers(), func(rank int) {
+		start := time.Now()
 		core := opts.Mapping[rank]
 		crs := lead.simCoreSweep(machines, a, x, y, parts[rank], core, opts, lay)
 		for j := range crs {
 			crs[j].Rank = rank
 			results[j].PerCore[rank] = crs[j]
 		}
+		opts.Span.Record("ue-walk", time.Since(start))
 	})
 
-	results[0].Y = y
-	for j := 1; j < len(results); j++ {
+	// Every Result owns its product vector: the engine's scratch y is
+	// never aliased out, so the sweep and single-run paths return
+	// structurally identical Results and callers may mutate any Y freely.
+	for j := range results {
 		results[j].Y = append([]float64(nil), y...)
 	}
 	for j, mj := range machines {
@@ -112,6 +128,8 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 		mj.finalize(results[j], a.NNZ())
 	}
 	simulatedFLOPs.Add(uint64(len(machines)) * uint64(2*a.NNZ()))
+	sweepRuns.Add(1)
+	sweepMachineRuns.Add(uint64(len(machines)))
 	return results, nil
 }
 
@@ -127,38 +145,6 @@ func (m *Machine) finalize(res *Result, nnz int) {
 	res.MFLOPSPerWatt = scc.MFLOPSPerWatt(res.GFLOPS, res.PowerWatts)
 }
 
-// forEachRank runs fn(rank) for every rank in [0, n), fanning the calls
-// over at most workers goroutines. workers <= 1 runs inline in rank order
-// (the serial reference path). fn must be safe to call concurrently for
-// distinct ranks.
-func forEachRank(n, workers int, fn func(rank int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for r := 0; r < n; r++ {
-			fn(r)
-		}
-		return
-	}
-	ranks := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for r := range ranks {
-				fn(r)
-			}
-		}()
-	}
-	for r := 0; r < n; r++ {
-		ranks <- r
-	}
-	close(ranks)
-	wg.Wait()
-}
-
 // workers resolves the Parallelism knob to a pool size.
 func (o *Options) workers() int {
 	if o.Parallelism > 0 {
@@ -166,6 +152,20 @@ func (o *Options) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// lineShift is the log2 of the simulated cache-line size: stream
+// batching and the cache simulator must agree on line granularity or
+// batched accesses would silently stop matching the hierarchy's lines.
+// The two const conversions below are a compile-time guard that
+// 1<<lineShift == scc.CacheLineBytes (each underflows uint and fails to
+// compile if the constants ever diverge); TestLineShiftMatchesCacheLine
+// double-checks at run time.
+const lineShift = 5
+
+const (
+	_ = uint(scc.CacheLineBytes - 1<<lineShift)
+	_ = uint(1<<lineShift - scc.CacheLineBytes)
+)
 
 // stream batches a unit-stride access sequence: the cache is probed only
 // when the stream crosses into a new line; the within-line accesses are
@@ -176,7 +176,7 @@ type stream struct {
 }
 
 func (s *stream) crossing(addr uint64) bool {
-	line := addr >> 5 // 32-byte lines
+	line := addr >> lineShift // scc.CacheLineBytes-sized lines
 	if s.valid && line == s.lastLine {
 		return false
 	}

@@ -3,6 +3,22 @@ package sparse
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Process-wide matrix-cache effectiveness metrics (internal/obs). Every
+// MatrixCache in the process feeds the same counters (in practice one
+// cache serves a run); the gauges track the most recently updated
+// cache's resident set. Write-only observability: never read back.
+var (
+	cacheHits       = obs.Default.Counter("sparse.matrix_cache.hits")
+	cacheMisses     = obs.Default.Counter("sparse.matrix_cache.misses")
+	cacheEvictions  = obs.Default.Counter("sparse.matrix_cache.evictions")
+	cacheDupGens    = obs.Default.Counter("sparse.matrix_cache.duplicate_generations")
+	cacheDupBytes   = obs.Default.Counter("sparse.matrix_cache.duplicate_bytes_wasted")
+	cacheUsedGauge  = obs.Default.Gauge("sparse.matrix_cache.used_bytes")
+	cacheResidGauge = obs.Default.Gauge("sparse.matrix_cache.resident")
 )
 
 // MatrixCache memoises generated testbed matrices keyed by (entry name,
@@ -24,6 +40,16 @@ type MatrixCache struct {
 	byKey  map[matrixKey]*list.Element
 
 	hits, misses, evictions uint64
+	// dupGens counts generations that lost a concurrent-miss race on the
+	// same key (the work was done, the result discarded in favour of the
+	// resident copy); dupBytes is the size of those discarded matrices.
+	dupGens  uint64
+	dupBytes uint64
+
+	// gen overrides matrix generation (test seam for orchestrating
+	// concurrent duplicate misses deterministically); nil uses
+	// TestbedEntry.GenerateScaled.
+	gen func(TestbedEntry, float64) *CSR
 }
 
 type matrixKey struct {
@@ -48,6 +74,14 @@ func NewMatrixCache(budgetBytes int64) *MatrixCache {
 	}
 }
 
+// generate resolves the generation function.
+func (c *MatrixCache) generate(e TestbedEntry, scale float64) *CSR {
+	if c != nil && c.gen != nil {
+		return c.gen(e, scale)
+	}
+	return e.GenerateScaled(scale)
+}
+
 // Get returns the entry's matrix at the given scale, generating it on a
 // miss. The returned matrix is shared across callers and must be treated
 // as read-only; reordering and format conversions in this package already
@@ -63,27 +97,40 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 		c.hits++
 		m := el.Value.(*matrixEntry).m
 		c.mu.Unlock()
+		cacheHits.Add(1)
 		return m
 	}
 	c.misses++
 	c.mu.Unlock()
+	cacheMisses.Add(1)
 
 	// Generate outside the lock so concurrent misses on different keys
 	// do not serialise on the expensive part.
-	m := e.GenerateScaled(scale)
+	m := c.generate(e, scale)
 	size := m.SizeBytes()
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byKey[k]; ok {
-		// Another goroutine generated the same key while we did; keep the
-		// resident copy so every caller shares one instance.
+		// Another goroutine generated the same key while we did. Keep the
+		// resident copy so every caller shares one instance; this return
+		// is served from the cache, so it counts as a hit, and the
+		// discarded generation is accounted as duplicated, wasted work.
 		c.lru.MoveToFront(el)
-		return el.Value.(*matrixEntry).m
+		c.hits++
+		c.dupGens++
+		c.dupBytes += uint64(size)
+		res := el.Value.(*matrixEntry).m
+		c.mu.Unlock()
+		cacheHits.Add(1)
+		cacheDupGens.Add(1)
+		cacheDupBytes.Add(uint64(size))
+		return res
 	}
 	if size > c.budget {
+		c.mu.Unlock()
 		return m // larger than the whole budget: hand out uncached
 	}
+	evicted := uint64(0)
 	for c.used+size > c.budget {
 		back := c.lru.Back()
 		ent := back.Value.(*matrixEntry)
@@ -91,17 +138,29 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 		delete(c.byKey, ent.key)
 		c.used -= ent.size
 		c.evictions++
+		evicted++
 	}
 	c.byKey[k] = c.lru.PushFront(&matrixEntry{key: k, m: m, size: size})
 	c.used += size
+	used, resident := c.used, c.lru.Len()
+	c.mu.Unlock()
+	cacheEvictions.Add(evicted)
+	cacheUsedGauge.Set(used)
+	cacheResidGauge.Set(int64(resident))
 	return m
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Resident                int
-	UsedBytes, BudgetBytes  int64
+	// DuplicateGenerations counts generations discarded after losing a
+	// concurrent-miss race (each also counted one miss at entry and one
+	// hit when the resident copy was returned); WastedBytes is the total
+	// size of those discarded matrices.
+	DuplicateGenerations   uint64
+	WastedBytes            uint64
+	Resident               int
+	UsedBytes, BudgetBytes int64
 }
 
 // Stats returns a snapshot of the cache counters. Safe on a nil cache.
@@ -112,11 +171,13 @@ func (c *MatrixCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		Resident:    c.lru.Len(),
-		UsedBytes:   c.used,
-		BudgetBytes: c.budget,
+		Hits:                 c.hits,
+		Misses:               c.misses,
+		Evictions:            c.evictions,
+		DuplicateGenerations: c.dupGens,
+		WastedBytes:          c.dupBytes,
+		Resident:             c.lru.Len(),
+		UsedBytes:            c.used,
+		BudgetBytes:          c.budget,
 	}
 }

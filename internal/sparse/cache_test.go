@@ -116,6 +116,170 @@ func TestMatrixCacheNilAndDisabled(t *testing.T) {
 	}
 }
 
+// Two goroutines missing on the same key race to generate; the loser
+// must discard its copy, count the resident-copy return as a hit, and
+// account the duplicated generation and its wasted bytes. The gen seam
+// blocks both goroutines inside generation so the race is deterministic.
+func TestMatrixCacheConcurrentDuplicateMissAccounting(t *testing.T) {
+	e := testEntry(t, "lhr04")
+	c := NewMatrixCache(1 << 30)
+	bothGenerating := make(chan struct{})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	c.gen = func(ge TestbedEntry, scale float64) *CSR {
+		entered <- struct{}{}
+		<-release
+		return ge.GenerateScaled(scale)
+	}
+	go func() {
+		<-entered
+		<-entered // both goroutines are past the miss count, inside generation
+		close(bothGenerating)
+		close(release)
+	}()
+
+	results := make([]*CSR, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get(e, 0.1)
+		}(i)
+	}
+	wg.Wait()
+	<-bothGenerating
+
+	if results[0] != results[1] {
+		t.Fatal("duplicate-miss losers must be served the resident copy")
+	}
+	st := c.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (both goroutines missed)", st.Misses)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (the loser was served from the cache)", st.Hits)
+	}
+	if st.DuplicateGenerations != 1 {
+		t.Fatalf("duplicate generations = %d, want 1", st.DuplicateGenerations)
+	}
+	if want := uint64(results[0].SizeBytes()); st.WastedBytes != want {
+		t.Fatalf("wasted bytes = %d, want %d (one discarded copy)", st.WastedBytes, want)
+	}
+	if st.Resident != 1 || st.UsedBytes != results[0].SizeBytes() {
+		t.Fatalf("resident set wrong after duplicate race: %+v", st)
+	}
+}
+
+// residentSizes walks the LRU and sums the entries' recorded sizes -
+// the invariant oracle for used-bytes accounting.
+func residentSizes(c *MatrixCache) (int64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		sum += el.Value.(*matrixEntry).size
+		n++
+	}
+	return sum, n
+}
+
+// After an arbitrary Get/evict sequence, used must equal the sum of the
+// resident entries' sizes and never exceed the budget.
+func TestMatrixCacheUsedMatchesResidentSizes(t *testing.T) {
+	entries := []TestbedEntry{
+		testEntry(t, "lhr04"),
+		testEntry(t, "rajat01"),
+		testEntry(t, "psmigr_1"),
+	}
+	scales := []float64{0.05, 0.1, 0.15}
+	// Budget sized so some (entry, scale) pairs fit, some evict, and the
+	// largest bypass: every code path participates in the sequence.
+	budget := entries[1].GenerateScaled(0.1).SizeBytes() + entries[0].GenerateScaled(0.15).SizeBytes()
+	c := NewMatrixCache(budget)
+	// Deterministic pseudo-random walk over the (entry, scale) grid.
+	state := uint64(1)
+	for i := 0; i < 60; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		e := entries[(state>>33)%uint64(len(entries))]
+		s := scales[(state>>13)%uint64(len(scales))]
+		c.Get(e, s)
+
+		sum, n := residentSizes(c)
+		st := c.Stats()
+		if st.UsedBytes != sum {
+			t.Fatalf("step %d: used %d != sum of resident sizes %d", i, st.UsedBytes, sum)
+		}
+		if st.Resident != n {
+			t.Fatalf("step %d: resident %d != lru length %d", i, st.Resident, n)
+		}
+		if st.UsedBytes > st.BudgetBytes {
+			t.Fatalf("step %d: over budget: %d > %d", i, st.UsedBytes, st.BudgetBytes)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 || st.Hits == 0 {
+		t.Fatalf("walk did not exercise evictions and hits: %+v", st)
+	}
+}
+
+// Zero- and negative-budget caches must never retain anything.
+func TestMatrixCacheNonPositiveBudgetNeverRetains(t *testing.T) {
+	e := testEntry(t, "lhr04")
+	for _, budget := range []int64{0, -1, -1 << 30} {
+		c := NewMatrixCache(budget)
+		a, b := c.Get(e, 0.1), c.Get(e, 0.1)
+		if a == nil || b == nil || a == b {
+			t.Fatalf("budget %d: cache retained or failed to generate", budget)
+		}
+		st := c.Stats()
+		if st.Resident != 0 || st.UsedBytes != 0 {
+			t.Fatalf("budget %d: retained entries: %+v", budget, st)
+		}
+		if st.Misses != 2 || st.Hits != 0 {
+			t.Fatalf("budget %d: stats = %+v, want 2 misses / 0 hits", budget, st)
+		}
+	}
+}
+
+// An entry larger than the whole budget must bypass the cache without
+// evicting the resident set.
+func TestMatrixCacheOversizedBypassKeepsResidents(t *testing.T) {
+	small1 := testEntry(t, "lhr04")
+	small2 := testEntry(t, "rajat01")
+	big := testEntry(t, "psmigr_1")
+	s1 := small1.GenerateScaled(0.05).SizeBytes()
+	s2 := small2.GenerateScaled(0.05).SizeBytes()
+	bigSize := big.GenerateScaled(0.3).SizeBytes()
+	if bigSize <= s1+s2 {
+		t.Fatalf("fixture not oversized: big %d <= residents %d", bigSize, s1+s2)
+	}
+	c := NewMatrixCache(s1 + s2)
+	c.Get(small1, 0.05)
+	c.Get(small2, 0.05)
+	before := c.Stats()
+	if before.Resident != 2 {
+		t.Fatalf("setup failed: %+v", before)
+	}
+
+	if m := c.Get(big, 0.3); m == nil || m.NNZ() == 0 {
+		t.Fatal("oversized entry not generated")
+	}
+	st := c.Stats()
+	if st.Resident != 2 || st.UsedBytes != before.UsedBytes {
+		t.Fatalf("oversized bypass disturbed residents: before %+v after %+v", before, st)
+	}
+	if st.Evictions != before.Evictions {
+		t.Fatalf("oversized bypass evicted: %+v", st)
+	}
+	// Both small entries must still be served from cache.
+	c.Get(small1, 0.05)
+	c.Get(small2, 0.05)
+	if got := c.Stats().Hits; got != before.Hits+2 {
+		t.Fatalf("residents lost after bypass: hits %d, want %d", got, before.Hits+2)
+	}
+}
+
 func TestMatrixCacheConcurrentAccess(t *testing.T) {
 	c := NewMatrixCache(1 << 30)
 	entries := []TestbedEntry{
