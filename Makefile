@@ -3,27 +3,46 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench perf metrics-smoke clean
+.PHONY: all build check test race bench perf metrics-smoke sccvet fmt-check ci clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# check is the tier-1 gate: vet plus the full test suite.
-check:
+# check is the tier-1 gate: formatting, go vet, the repo's own static
+# analyzers (cmd/sccvet), and the full test suite. The tree must be
+# sccvet-clean: every surviving suppression carries a
+# "//sccvet:allow <analyzer> <reason>" directive.
+check: fmt-check
 	$(GO) vet ./...
+	$(GO) run ./cmd/sccvet ./...
 	$(GO) test ./...
+
+# sccvet runs only the custom invariant analyzers (determinism,
+# concurrency, cache geometry, atomic consistency, result aliasing).
+sccvet:
+	$(GO) run ./cmd/sccvet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
 
 # race runs the race detector over the packages with host concurrency:
 # the parallel simulation engine, the experiment pipelines, and the
-# goroutine-backed RCCE runtime and kernels.
+# goroutine-backed RCCE runtime and kernels. The experiments suite runs
+# right at go test's default 10-minute limit under the race detector on
+# a single-CPU host, so the timeout is raised explicitly.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv
+	$(GO) test -race -timeout 30m ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv
+
+# ci is the full pre-merge pipeline: the check gate plus the race
+# detector over the host-concurrent packages.
+ci: check race
 
 bench:
 	$(GO) test -bench=. -benchmem

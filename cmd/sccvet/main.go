@@ -1,0 +1,159 @@
+// Command sccvet runs the repo's custom static-analysis suite (see
+// internal/lint): five analyzers enforcing the simulator's determinism,
+// concurrency and cache-geometry invariants at vet time. It is wired into
+// `make check`, so the tree must stay sccvet-clean.
+//
+// Usage:
+//
+//	sccvet [-list] [-run name[,name...]] [packages]
+//
+// Package patterns are directories relative to the module root; a
+// trailing /... analyzes the subtree. With no patterns (or ./...) the
+// whole module is analyzed. Exit status is 1 when findings remain after
+// //sccvet:allow suppression.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	enabled := map[string]bool{}
+	if *runFlag != "" {
+		for _, n := range strings.Split(*runFlag, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !contains(lint.AnalyzerNames(), n) {
+				fatalf("unknown analyzer %q (use -list)", n)
+			}
+			enabled[n] = true
+		}
+	}
+
+	root, module, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader := lint.NewLoader(root, module)
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		ps, err := resolve(loader, root, pat)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, p := range ps {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	conf := lint.DefaultConfig()
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, f := range lint.RunPackage(conf, pkg) {
+			if len(enabled) > 0 && !enabled[f.Analyzer] && f.Analyzer != "sccvet" {
+				continue
+			}
+			bad++
+			fmt.Println(rel(root, f.String()))
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sccvet: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// resolve expands one package pattern against the loader.
+func resolve(loader *lint.Loader, root, pat string) ([]*lint.Package, error) {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." || pat == "" || pat == "." {
+		return loader.LoadAll("")
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return loader.LoadAll(sub)
+	}
+	p, err := loader.Load(filepath.FromSlash(pat))
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{p}, nil
+}
+
+// moduleRoot walks up from the working directory to go.mod and reads the
+// module path from it.
+func moduleRoot() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, err := os.Stat(gomod); err == nil {
+			f, err := os.Open(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				fields := strings.Fields(sc.Text())
+				if len(fields) == 2 && fields[0] == "module" {
+					return dir, fields[1], nil
+				}
+			}
+			return "", "", fmt.Errorf("sccvet: no module line in %s", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("sccvet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// rel shortens absolute file positions to module-relative ones.
+func rel(root, s string) string {
+	return strings.ReplaceAll(s, root+string(filepath.Separator), "")
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sccvet: "+format+"\n", args...)
+	os.Exit(1)
+}

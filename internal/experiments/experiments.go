@@ -165,9 +165,9 @@ func (c Config) simOptions(o sim.Options) sim.Options {
 // fetchMatrix pulls one matrix through the cache under the harness's
 // fetch accounting.
 func (c Config) fetchMatrix(e sparse.TestbedEntry) *sparse.CSR {
-	start := time.Now()
+	start := time.Now() //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
 	a := c.matrixCache().Get(e, c.Scale)
-	matrixFetch.Observe(time.Since(start))
+	matrixFetch.Observe(time.Since(start)) //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
 	matrixVisits.Add(1)
 	return a
 }

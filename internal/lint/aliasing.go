@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// analyzerAliasing guards the engine's results-own-their-memory contract:
+// an exported function must not hand callers a slice that aliases one of
+// its parameters or an internal scratch buffer. RunSpMVSweep once
+// returned Results whose Y aliased the sweep's shared scratch vector, so
+// mutating one result silently corrupted the others; PR 2 fixed it by
+// copying. The analyzer flags two shapes:
+//
+//   - returning a parameter (or a subslice of one) of slice type, and
+//   - returning a receiver/parameter struct field (or a subslice of one)
+//     whose name marks it as scratch storage (buf, scratch, tmp, work).
+//
+// Getters returning stable data fields are not flagged - aliasing a
+// matrix's own Val array is the accessor's documented contract, while
+// aliasing a reused scratch buffer never is.
+var analyzerAliasing = &Analyzer{
+	Name: "result-aliasing",
+	Doc:  "flags exported functions returning parameter- or scratch-backed slices without copying",
+	Run:  runAliasing,
+}
+
+// scratchName marks struct fields that are reused working storage rather
+// than owned results.
+var scratchName = regexp.MustCompile(`(?i)(scratch|buf|tmp|temp|work)`)
+
+func runAliasing(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Results() == nil {
+				continue
+			}
+			checkFuncAliasing(p, fd, sig)
+		}
+	}
+}
+
+func checkFuncAliasing(p *Pass, fd *ast.FuncDecl, sig *types.Signature) {
+	owned := map[types.Object]string{} // param/receiver object -> role
+	for i := 0; i < sig.Params().Len(); i++ {
+		owned[sig.Params().At(i)] = "parameter"
+	}
+	if r := sig.Recv(); r != nil {
+		owned[r] = "receiver"
+	}
+	results := sig.Results()
+
+	// Walk the body without descending into function literals: their
+	// return statements return from the literal, not from fd.
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != n {
+				return false
+			}
+			rs, ok := m.(*ast.ReturnStmt)
+			if !ok || len(rs.Results) != results.Len() {
+				return true
+			}
+			for i, expr := range rs.Results {
+				if _, ok := results.At(i).Type().Underlying().(*types.Slice); !ok {
+					continue
+				}
+				checkReturnExpr(p, fd, owned, expr)
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}
+
+// checkReturnExpr flags a returned slice expression that aliases a
+// parameter or a scratch field reachable from the receiver/parameters.
+func checkReturnExpr(p *Pass, fd *ast.FuncDecl, owned map[types.Object]string, expr ast.Expr) {
+	e := ast.Unparen(expr)
+	for {
+		se, ok := e.(*ast.SliceExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(se.X)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(x)
+		if role, ok := owned[obj]; ok {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				p.Reportf(expr.Pos(),
+					"exported %s returns %s %s (or a subslice) without copying: the caller and this package now share one backing array; return append([]T(nil), s...) or annotate //sccvet:allow result-aliasing <reason>",
+					fd.Name.Name, role, x.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		root := rootIdent(x.X)
+		if root == nil {
+			return
+		}
+		if _, ok := owned[p.Info.ObjectOf(root)]; !ok {
+			return
+		}
+		if !scratchName.MatchString(x.Sel.Name) {
+			return
+		}
+		if t := p.Info.TypeOf(x); t != nil {
+			if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+				return
+			}
+		}
+		p.Reportf(expr.Pos(),
+			"exported %s returns scratch buffer %s.%s (or a subslice) without copying: reused working storage must never escape; copy it or annotate //sccvet:allow result-aliasing <reason>",
+			fd.Name.Name, root.Name, x.Sel.Name)
+	}
+}

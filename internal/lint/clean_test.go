@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLiveTreeIsSccvetClean is the meta-test behind `make check`: the
+// whole module must satisfy every analyzer under the production config,
+// with any remaining suppression carrying a //sccvet:allow reason. A
+// failure here means a determinism, concurrency or geometry invariant
+// regressed - fix the code, or annotate the site with its justification.
+func TestLiveTreeIsSccvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "repro")
+	pkgs, err := loader.LoadAll("")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages from %s; loader lost part of the tree", len(pkgs), root)
+	}
+	conf := DefaultConfig()
+	for _, pkg := range pkgs {
+		for _, f := range RunPackage(conf, pkg) {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The format is
+//
+//	//sccvet:allow <analyzer> <reason>
+//
+// where <analyzer> is one of the suite's analyzer names and <reason> is
+// mandatory free text recorded next to the suppressed site. A directive
+// suppresses findings of that analyzer on its own line and on the line
+// immediately below (so it can trail the offending statement or sit on
+// its own line above it).
+const directivePrefix = "//sccvet:allow"
+
+// suppressionSet indexes directives by (file, line, analyzer).
+type suppressionSet map[suppressionKey]bool
+
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppresses reports whether a directive covers the finding.
+func (s suppressionSet) suppresses(f Finding) bool {
+	return s[suppressionKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]
+}
+
+// directives scans every comment for //sccvet:allow lines, returning the
+// suppression index plus a finding for each malformed directive (unknown
+// analyzer or missing reason). Malformed directives never suppress.
+func directives(fset *token.FileSet, files []*ast.File) (suppressionSet, []Finding) {
+	set := suppressionSet{}
+	var bad []Finding
+	valid := AnalyzerNames()
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				pos := fset.Position(c.Pos())
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// e.g. //sccvet:allowed - not ours.
+					continue
+				}
+				// Anything after an embedded "//" is commentary on the
+				// directive (the corpus uses it for want assertions),
+				// not part of analyzer name or reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: "sccvet",
+						Pos:      pos,
+						Message:  "malformed //sccvet:allow directive: want \"//sccvet:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				if !contains(valid, name) {
+					bad = append(bad, Finding{
+						Analyzer: "sccvet",
+						Pos:      pos,
+						Message: "//sccvet:allow names unknown analyzer \"" + name +
+							"\" (valid: " + strings.Join(valid, ", ") + ")",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "sccvet",
+						Pos:      pos,
+						Message:  "//sccvet:allow " + name + " is missing its reason: every suppression must say why",
+					})
+					continue
+				}
+				set[suppressionKey{pos.Filename, pos.Line, name}] = true
+				set[suppressionKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// analyzerGeometry rejects magic cache-line and chip-topology constants in
+// address arithmetic. The SCC's geometry lives in internal/scc
+// (CacheLineBytes=32, NumCores=48, NumTiles=24); spelling those numbers
+// inline (addr>>5, line&31, i*32, core%48) silently decouples the code
+// from the named constants - the exact bug PR 2 fixed in the stream
+// batcher, where a hardcoded >>5 would have survived a line-size change.
+// Named constants (even ones ultimately equal to 5 or 32) are always
+// fine: the analyzer only fires on integer literals.
+var analyzerGeometry = &Analyzer{
+	Name: "geometry-literal",
+	Doc:  "flags magic cache-line/topology constants (>>5, &31, *32, %48, ...) in address arithmetic",
+	Run:  runGeometry,
+}
+
+// geometryHint gates the check to operands that look like address or
+// topology arithmetic, so `n * 32` over plain element counts stays legal.
+var geometryHint = regexp.MustCompile(`(?i)(addr|line|tile|core|rank|hop|byte|off|block|lane|mc|ctl|mesh|way|bank)`)
+
+// geometryMagic maps an operator to the literal values that encode chip
+// geometry under it.
+func geometryMagic(op token.Token, v int64) bool {
+	switch op {
+	case token.SHL, token.SHR:
+		return v == 5 // log2(scc.CacheLineBytes)
+	case token.AND, token.AND_ASSIGN:
+		return v == 31 // scc.CacheLineBytes - 1
+	case token.MUL, token.QUO, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return v == 32 // scc.CacheLineBytes
+	case token.REM, token.REM_ASSIGN:
+		return v == 32 || v == 48 || v == 24 // line bytes, NumCores, NumTiles
+	case token.SHL_ASSIGN, token.SHR_ASSIGN:
+		return v == 5
+	}
+	return false
+}
+
+func runGeometry(p *Pass) {
+	if !contains(p.Conf.GeometryPackages, p.Path) {
+		return
+	}
+	check := func(op token.Token, a, b ast.Expr, at token.Pos) {
+		lit, other := literalOperand(a, b)
+		if lit == nil {
+			return
+		}
+		v, ok := intValue(lit)
+		if !ok || !geometryMagic(op, v) {
+			return
+		}
+		if !addressLike(p, other) {
+			return
+		}
+		p.Reportf(at,
+			"magic geometry constant %s in %q arithmetic on %s: derive it from scc.CacheLineBytes / scc.NumCores / scc.NumTiles (internal/scc/topology.go) so the geometry has one source of truth",
+			lit.Value, op, types.ExprString(other))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				check(x.Op, x.X, x.Y, x.OpPos)
+			case *ast.AssignStmt:
+				if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+					switch x.Tok {
+					case token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_ASSIGN,
+						token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+						check(x.Tok, x.Lhs[0], x.Rhs[0], x.TokPos)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// literalOperand returns the integer literal among (a, b), if exactly one
+// side is a literal, together with the other operand.
+func literalOperand(a, b ast.Expr) (lit *ast.BasicLit, other ast.Expr) {
+	la, oka := asIntLit(a)
+	lb, okb := asIntLit(b)
+	switch {
+	case oka && !okb:
+		return la, b
+	case okb && !oka:
+		return lb, a
+	}
+	return nil, nil
+}
+
+func asIntLit(e ast.Expr) (*ast.BasicLit, bool) {
+	for {
+		if pe, ok := e.(*ast.ParenExpr); ok {
+			e = pe.X
+			continue
+		}
+		break
+	}
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.INT {
+		return nil, false
+	}
+	return bl, true
+}
+
+func intValue(bl *ast.BasicLit) (int64, bool) {
+	v, err := strconv.ParseInt(bl.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// addressLike reports whether the non-literal operand plausibly carries an
+// address or topology coordinate: either its spelling mentions one
+// (addr, line, tile, core, ...) or its type is an unsigned machine word,
+// the representation the simulator uses for byte addresses.
+func addressLike(p *Pass, e ast.Expr) bool {
+	if geometryHint.MatchString(types.ExprString(e)) {
+		return true
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uint64, types.Uintptr:
+			return true
+		}
+	}
+	return false
+}

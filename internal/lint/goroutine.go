@@ -1,0 +1,30 @@
+package lint
+
+import "go/ast"
+
+// analyzerGoroutine steers host concurrency through the one instrumented
+// fan-out primitive the engine has, (*obs.Pool).ForEach: a bare `go`
+// statement anywhere else bypasses the pool's task accounting, occupancy
+// sampling and the serial reference path the determinism tests pin down.
+// The packages in Config.GoroutineAllowed (the obs pool itself and the
+// RCCE thread model, whose UEs *are* goroutines) are exempt.
+var analyzerGoroutine = &Analyzer{
+	Name: "bare-goroutine",
+	Doc:  "flags go statements outside the obs worker pool and the RCCE thread model",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	if contains(p.Conf.GoroutineAllowed, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(),
+					"bare goroutine outside the obs pool and the RCCE thread model: fan work out through (*obs.Pool).ForEach so it is instrumented and has a serial reference path, or annotate //sccvet:allow bare-goroutine <reason>")
+			}
+			return true
+		})
+	}
+}

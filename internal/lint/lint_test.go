@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusLoader loads packages from testdata/src under the synthetic
+// module path "corpus", so testdata/src/nondet becomes corpus/nondet.
+func corpusLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, "corpus")
+}
+
+// wantRe extracts `...`- or "..."-quoted regexes from a trailing
+// `// want` assertion, analysistest-style.
+var (
+	wantRe = regexp.MustCompile("want((?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))+)")
+	tokRe  = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants indexes every file's want assertions by (file, line).
+func parseWants(t *testing.T, pkg *Package) map[string]map[int][]*expectation {
+	t.Helper()
+	wants := map[string]map[int][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, tok := range tokRe.FindAllString(m[1], -1) {
+					var src string
+					if strings.HasPrefix(tok, "`") {
+						src = strings.Trim(tok, "`")
+					} else {
+						var err error
+						src, err = strconv.Unquote(tok)
+						if err != nil {
+							t.Fatalf("%s: bad want token %s: %v", pos, tok, err)
+						}
+					}
+					re, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, src, err)
+					}
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = map[int][]*expectation{}
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runCorpus loads one corpus package and checks its findings against the
+// want assertions: every finding needs a matching want on its line, every
+// want must be consumed exactly once.
+func runCorpus(t *testing.T, dir string, conf Config) {
+	t.Helper()
+	pkg, err := corpusLoader(t).Load(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	wants := parseWants(t, pkg)
+	for _, f := range RunPackage(conf, pkg) {
+		exps := wants[f.Pos.Filename][f.Pos.Line]
+		consumed := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(f.Message) {
+				e.matched = true
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no finding matched want %q", file, line, e.re)
+				}
+			}
+		}
+	}
+}
+
+// runCorpusExpectClean asserts the package yields zero findings under the
+// config, ignoring any want comments (used for exemption configs).
+func runCorpusExpectClean(t *testing.T, dir string, conf Config) {
+	t.Helper()
+	pkg, err := corpusLoader(t).Load(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	for _, f := range RunPackage(conf, pkg) {
+		t.Errorf("unexpected finding under exemption config: %s", f)
+	}
+}
+
+func TestNondeterminismCorpus(t *testing.T) {
+	runCorpus(t, "nondet", Config{SimPackages: []string{"corpus/nondet"}})
+}
+
+func TestNondeterminismExemptPackage(t *testing.T) {
+	// A package outside Config.SimPackages is not subject to the
+	// determinism invariants (the goroutine analyzer is scoped off too).
+	runCorpusExpectClean(t, "nondet", Config{GoroutineAllowed: []string{"corpus/nondet"}})
+}
+
+func TestGoroutineCorpus(t *testing.T) {
+	runCorpus(t, "goroutine", Config{})
+}
+
+func TestGoroutineExemptPackage(t *testing.T) {
+	runCorpusExpectClean(t, "goroutine", Config{GoroutineAllowed: []string{"corpus/goroutine"}})
+}
+
+func TestGeometryCorpus(t *testing.T) {
+	runCorpus(t, "geometry", Config{GeometryPackages: []string{"corpus/geometry"}})
+}
+
+func TestGeometryExemptPackage(t *testing.T) {
+	runCorpusExpectClean(t, "geometry", Config{})
+}
+
+func TestAtomicConsistencyCorpus(t *testing.T) {
+	runCorpus(t, "atomicuse", Config{})
+}
+
+func TestResultAliasingCorpus(t *testing.T) {
+	runCorpus(t, "aliasing", Config{})
+}
+
+func TestDirectiveCorpus(t *testing.T) {
+	runCorpus(t, "directive", Config{SimPackages: []string{"corpus/directive"}})
+}
+
+func TestAnalyzerNamesAreUniqueAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected the 5 analyzers of the suite, have %d", len(seen))
+	}
+}

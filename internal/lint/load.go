@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (Module + "/" + dir relative to Root).
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset positions every file in the loader's shared file set.
+	Fset  *token.FileSet
+	Types *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// Loader parses and type-checks packages with the standard library only:
+// module-local import paths are resolved recursively against Root, and
+// everything else is delegated to the source importer over GOROOT. This
+// keeps sccvet free of module dependencies (no golang.org/x/tools).
+type Loader struct {
+	// Root is the directory containing the package tree.
+	Root string
+	// Module is the import-path prefix mapping onto Root (e.g. "repro").
+	Module string
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the package tree rooted at root with the
+// given module path.
+func NewLoader(root, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer over the composite resolution scheme.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+		return l.std.Import(path)
+	}
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// dirFor maps an import path onto a directory under Root.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory under Root onto its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load type-checks the package in the directory (absolute or relative to
+// Root) and caches it by import path.
+func (l *Loader) Load(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.Root, dir)
+	}
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Types: tpkg, Info: info, Files: files}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every non-test .go file in dir, in name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadAll walks the subtree rooted at sub (relative to Root; "" or "."
+// means the whole tree), loading every directory holding non-test Go
+// files. testdata and hidden directories are skipped.
+func (l *Loader) LoadAll(sub string) ([]*Package, error) {
+	start := l.Root
+	if sub != "" && sub != "." {
+		start = filepath.Join(l.Root, filepath.FromSlash(sub))
+	}
+	var dirs []string
+	err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if n == "testdata" || (strings.HasPrefix(n, ".") && path != start) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		n := d.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		p, err := l.Load(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// analyzerNondeterminism enforces the engine's bit-identical-results
+// contract inside the simulation packages (Config.SimPackages): no
+// wall-clock reads, no global math/rand source, and no map-range loops
+// that write into slices that outlive the loop (Go randomises map order,
+// so such writes can depend on iteration order). Wall-clock reads that
+// feed write-only instrumentation carry a //sccvet:allow directive.
+var analyzerNondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "flags time.Now/Since, global math/rand and map-order-dependent slice writes in simulation packages",
+	Run:  runNondeterminism,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded source; everything else package-level draws from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNondeterminism(p *Pass) {
+	if !contains(p.Conf.SimPackages, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				path, name, ok := pkgFunc(p.Info, x)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "time" && (name == "Now" || name == "Since"):
+					p.Reportf(x.Pos(),
+						"call to time.%s in simulation package %s: results must not depend on the wall clock (route instrumentation through internal/obs or annotate //sccvet:allow nondeterminism <reason>)",
+						name, p.Path)
+				case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+					p.Reportf(x.Pos(),
+						"math/rand.%s draws from the global source: seed explicitly with rand.New(rand.NewSource(seed)) so runs are reproducible",
+						name)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags map-range bodies that write into slices declared
+// outside the loop: the write order then follows Go's randomised map
+// iteration order, which is exactly the nondeterminism the sweep tables
+// must never absorb.
+func checkMapRange(p *Pass, rs *ast.RangeStmt) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var written []string
+	seen := map[string]bool{}
+	note := func(id *ast.Ident) {
+		if id == nil || seen[id.Name] {
+			return
+		}
+		seen[id.Name] = true
+		written = append(written, id.Name)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			note(outerSliceWrite(p, rs, lhs))
+		}
+		// x = append(x, ...) growing an outer slice is order-dependent too.
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			id := rootIdent(as.Lhs[i])
+			if id == nil || id.Name == "_" {
+				continue
+			}
+			lt := p.Info.TypeOf(as.Lhs[i])
+			if lt == nil {
+				continue
+			}
+			if _, isSlice := lt.Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if declaredOutside(p.Info, id, rs.Pos(), rs.End()) {
+				note(id)
+			}
+		}
+		return true
+	})
+	if len(written) > 0 {
+		sort.Strings(written)
+		p.Reportf(rs.Pos(),
+			"range over map writes into slice %s declared outside the loop: map iteration order is randomised; iterate a sorted key list or a dense index instead",
+			strings.Join(written, ", "))
+	}
+}
+
+// outerSliceWrite reports the base identifier when the assignment target
+// reaches through an index expression into a slice declared outside the
+// range statement (s[i] = v, res.Cells[i].Field = v, ...).
+func outerSliceWrite(p *Pass, rs *ast.RangeStmt, lhs ast.Expr) *ast.Ident {
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if t := p.Info.TypeOf(x.X); t != nil {
+				if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+					if id := rootIdent(x.X); id != nil && declaredOutside(p.Info, id, rs.Pos(), rs.End()) {
+						return id
+					}
+				}
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Corpus for the result-aliasing analyzer: exported functions must not
+// return parameter-backed slices or scratch-named fields; copies, locals
+// and stable data-field getters are fine, as is anything unexported.
+package aliasing
+
+type Table struct {
+	vals    []float64
+	scratch []float64
+	workBuf []float64
+}
+
+func Identity(xs []float64) []float64 {
+	return xs // want `returns parameter xs`
+}
+
+func Head(xs []float64, n int) []float64 {
+	return xs[:n] // want `returns parameter xs`
+}
+
+func (t *Table) Scratch() []float64 {
+	return t.scratch // want `returns scratch buffer t\.scratch`
+}
+
+func (t *Table) ScratchHead(n int) []float64 {
+	return t.scratch[:n] // want `returns scratch buffer t\.scratch`
+}
+
+func (t *Table) Work() []float64 {
+	return t.workBuf // want `returns scratch buffer t\.workBuf`
+}
+
+func CopyOK(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}
+
+func (t *Table) ValsOK() []float64 {
+	return t.vals // stable data field: the accessor's documented contract
+}
+
+func internalScratch(t *Table) []float64 {
+	return t.scratch // unexported: free to alias within the package
+}
+
+func MakeOK(n int) []float64 {
+	return make([]float64, n)
+}
+
+func LitCallbackOK(xs []float64) func() []float64 {
+	// The literal's return aliases xs, but the literal is not the
+	// exported function's own return statement.
+	return func() []float64 { return xs }
+}

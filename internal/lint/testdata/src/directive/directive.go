@@ -1,0 +1,36 @@
+// Corpus for //sccvet:allow handling: well-formed directives suppress
+// their analyzer on the same line or the line below; wrong-analyzer
+// directives suppress nothing; malformed directives are findings.
+package directive
+
+import "time"
+
+var sink float64
+
+func SuppressedSameLine() {
+	sink = float64(time.Now().UnixNano()) //sccvet:allow nondeterminism corpus fixture exercising same-line suppression
+}
+
+func SuppressedLineAbove() {
+	//sccvet:allow nondeterminism corpus fixture exercising line-above suppression
+	sink = float64(time.Now().UnixNano())
+}
+
+func WrongAnalyzer() {
+	//sccvet:allow bare-goroutine suppressing a different analyzer does nothing
+	sink = float64(time.Now().UnixNano()) // want `call to time\.Now`
+}
+
+func TooFarAbove() {
+	//sccvet:allow nondeterminism a directive two lines up is out of range
+
+	sink = float64(time.Now().UnixNano()) // want `call to time\.Now`
+}
+
+func MissingReason() {
+	_ = sink //sccvet:allow nondeterminism // want `missing its reason`
+}
+
+func UnknownAnalyzer() {
+	_ = sink //sccvet:allow clock-skew because reasons // want `unknown analyzer`
+}

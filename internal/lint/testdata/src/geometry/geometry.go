@@ -1,0 +1,51 @@
+// Corpus for the geometry-literal analyzer: magic cache-line/topology
+// constants in address arithmetic are findings; named constants, non-magic
+// literals and plain element counts are not.
+package geometry
+
+const lineShift = 5
+
+func LineOf(addr uint64) uint64 {
+	return addr >> 5 // want `magic geometry constant 5`
+}
+
+func OffsetOf(addr uint64) uint64 {
+	return addr & 31 // want `magic geometry constant 31`
+}
+
+func LineBase(addr uint64) uint64 {
+	return (addr >> 5) << 5 // want `magic geometry constant 5` `magic geometry constant 5`
+}
+
+func ByteOf(lineIdx int) int {
+	return lineIdx * 32 // want `magic geometry constant 32`
+}
+
+func CoreWrap(core int) int {
+	return core % 48 // want `magic geometry constant 48`
+}
+
+func TileWrap(tile int) int {
+	return tile % 24 // want `magic geometry constant 24`
+}
+
+func ShiftAssign(addr uint64) uint64 {
+	addr >>= 5 // want `magic geometry constant 5`
+	return addr
+}
+
+func NamedConstOK(addr uint64) uint64 {
+	return addr >> lineShift
+}
+
+func PlainCountOK(n int) int {
+	return n * 32 // plain element count: no address hint, not an address type
+}
+
+func KibOK(n int) int {
+	return n << 10
+}
+
+func HalfOK(tiles int) int {
+	return tiles / 2
+}

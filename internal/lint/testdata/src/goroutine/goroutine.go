@@ -1,0 +1,24 @@
+// Corpus for the bare-goroutine analyzer: every go statement in a
+// non-exempt package is a finding, whatever it launches.
+package goroutine
+
+import "sync"
+
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `bare goroutine outside the obs pool`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func Launch(f func()) {
+	go f() // want `bare goroutine outside the obs pool`
+}
+
+func InlineOK(f func()) {
+	f()
+}

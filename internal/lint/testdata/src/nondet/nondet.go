@@ -1,0 +1,79 @@
+// Corpus for the nondeterminism analyzer: wall-clock reads, the global
+// math/rand source, and map-range loops writing into outer slices must be
+// flagged; seeded sources, slice ranges and loop-local writes must not.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink float64
+
+func Timing() {
+	t0 := time.Now()                 // want `call to time\.Now`
+	sink += time.Since(t0).Seconds() // want `call to time\.Since`
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the global source`
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from the global source`
+}
+
+func SeededRandOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func MapAppend(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m { // want `range over map writes into slice out`
+		out = append(out, v)
+	}
+	return out
+}
+
+func MapIndexWrite(m map[int]int, res []float64) {
+	i := 0
+	for k := range m { // want `range over map writes into slice res`
+		res[i] = float64(k)
+		i++
+	}
+}
+
+type cell struct{ V int }
+
+func MapFieldWrite(m map[int]int, cells []cell) {
+	for k := range m { // want `range over map writes into slice cells`
+		cells[0].V += k
+	}
+}
+
+func SliceRangeOK(xs []int, out []int) {
+	for i, v := range xs {
+		out[i] = v
+	}
+}
+
+func MapLocalWriteOK(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		local := []int{v}
+		local[0]++
+		total += local[0]
+	}
+	return total
+}
+
+func MapScalarReduceOK(m map[int]int) int {
+	max := 0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -27,10 +27,23 @@ import (
 const ChunkBytes = scc.MPBBytesPerCore
 
 // Comm is one parallel program instance: the state shared by its UEs.
+//
+// Concurrency audit (sccvet atomic-consistency pass): n, mapping and
+// started are written once before Run launches the UE goroutines and are
+// read-only afterwards (the go statement is the happens-before edge); the
+// channel table is guarded by chansMu, the shared-memory and split tables
+// by shmMu, the mutable frequency-domain record by domMu, and the traffic
+// counters are typed atomics, which the analyzer prefers because a plain
+// access to them cannot compile.
 type Comm struct {
 	n       int
 	mapping scc.Mapping
+
+	// domains is the mutable per-tile clock record behind SetTileMHz /
+	// TileMHz / Domains; domMu guards it (it previously borrowed
+	// chansMu, which coupled power management to the channel table).
 	domains scc.FreqDomains
+	domMu   sync.Mutex
 
 	chans   map[pairKey]chan []byte
 	chansMu sync.Mutex

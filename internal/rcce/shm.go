@@ -56,23 +56,25 @@ func (u *UE) SetTileMHz(mhz int) error {
 		return fmt.Errorf("rcce: tile clock %d MHz outside [100, 800]", mhz)
 	}
 	tile := u.Core().Tile()
-	u.comm.chansMu.Lock() // reuse a comm-wide mutex for the domains record
+	u.comm.domMu.Lock()
 	u.comm.domains.TileMHz[tile] = mhz
-	u.comm.chansMu.Unlock()
+	u.comm.domMu.Unlock()
 	return nil
 }
 
 // TileMHz returns this UE's current tile clock.
 func (u *UE) TileMHz() int {
-	u.comm.chansMu.Lock()
-	defer u.comm.chansMu.Unlock()
+	u.comm.domMu.Lock()
+	defer u.comm.domMu.Unlock()
 	return u.comm.domains.CoreMHzOf(u.Core())
 }
 
-// Domains returns a snapshot of the chip's frequency domains.
+// Domains returns a snapshot of the chip's frequency domains. FreqDomains
+// holds its per-tile clocks in an array, so the returned copy is deep and
+// safe to read after the lock is released.
 func (u *UE) Domains() scc.FreqDomains {
-	u.comm.chansMu.Lock()
-	defer u.comm.chansMu.Unlock()
+	u.comm.domMu.Lock()
+	defer u.comm.domMu.Unlock()
 	return u.comm.domains
 }
 

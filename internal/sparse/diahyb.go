@@ -38,6 +38,7 @@ func ToDIA(m *CSR, maxDiags int) (*DIA, error) {
 		return nil, fmt.Errorf("sparse: DIA needs %d diagonals, limit %d", len(seen), maxDiags)
 	}
 	offsets := make([]int32, 0, len(seen))
+	//sccvet:allow nondeterminism keys are unique and sorted immediately below, erasing map iteration order
 	for o := range seen {
 		offsets = append(offsets, o)
 	}

@@ -12,11 +12,18 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rcce"
 	"repro/internal/scc"
 	"repro/internal/sparse"
 )
+
+// parallelPool fans the shared-memory kernel's row blocks out through the
+// engine's instrumented worker pool (spmv.parallel.tasks/task_seconds/
+// occupancy), so the executable kernel path is observable like the
+// simulation engine and inherits the pool's serial reference path.
+var parallelPool = obs.Default.Pool("spmv.parallel")
 
 // Sequential computes y = A·x with the paper's Figure 2 kernel.
 func Sequential(a *sparse.CSR, y, x []float64) {
@@ -35,23 +42,16 @@ func Parallel(a *sparse.CSR, y, x []float64, workers int) error {
 			a.Rows, a.Cols, len(x), len(y))
 	}
 	parts := partition.ByNNZ(a, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		rows := parts[w]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, ri := range rows {
-				i := int(ri)
-				var t float64
-				for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-					t += a.Val[k] * x[a.Index[k]]
-				}
-				y[i] = t
+	parallelPool.ForEach(workers, workers, func(w int) {
+		for _, ri := range parts[w] {
+			i := int(ri)
+			var t float64
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				t += a.Val[k] * x[a.Index[k]]
 			}
-		}()
-	}
-	wg.Wait()
+			y[i] = t
+		}
+	})
 	return nil
 }
 
