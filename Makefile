@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench perf metrics-smoke sccvet fmt-check ci clean
+.PHONY: all build check test race chaos bench perf metrics-smoke sccvet fmt-check ci clean
 
 all: build
 
@@ -40,9 +40,17 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 30m ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv
 
-# ci is the full pre-merge pipeline: the check gate plus the race
-# detector over the host-concurrent packages.
-ci: check race
+# chaos runs the fault-injection suite (internal/fault plans driven
+# through the RCCE watchdog and the experiment engine's error isolation)
+# under the race detector: deadlock detection, dropped/delayed messages,
+# failed ranks, matrix/cell faults and cancellation paths.
+chaos:
+	$(GO) test -race -timeout 10m -run 'Chaos' ./internal/rcce ./internal/experiments
+	$(GO) test -race -timeout 10m ./internal/fault ./internal/obs
+
+# ci is the full pre-merge pipeline: the check gate, the race detector
+# over the host-concurrent packages, and the chaos suite.
+ci: check race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -18,6 +18,12 @@
 // machine-readable BENCH_<exp>.json perf record. -cpuprofile/-memprofile
 // capture pprof profiles of whatever the invocation runs.
 //
+// Robustness: SIGINT/SIGTERM and the -deadline flag cancel the run's
+// context, which stops the engine at its next matrix/cell/pass boundary;
+// profiles and the -metrics snapshot are still flushed on the way out. A
+// failing (matrix, cell) unit is isolated into an error row appended to
+// the experiment's tables; -failfast restores abort-at-first-error.
+//
 // Observability (internal/obs): -metrics out.json writes a schema-stable
 // JSON snapshot of every engine metric (per-UE walk timings, worker-pool
 // occupancy, sweep sharing, matrix-cache effectiveness, per-controller
@@ -27,14 +33,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -44,6 +53,13 @@ import (
 )
 
 func main() {
+	// Every exit funnels through run's return code so the deferred
+	// cleanups (CPU/heap profile flush, metrics snapshot, heartbeat stop)
+	// run on error paths too - os.Exit anywhere deeper would lose them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		expID      = flag.String("exp", "", "experiment id to run, \"all\", or \"bench\"")
@@ -55,6 +71,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "host worker pool size: 0 = GOMAXPROCS, 1 = serial reference engine")
 		sequential = flag.Bool("sequential", false, "seed-equivalent engine: no pools, no shared sweep walks (determinism oracle)")
 		cacheMB    = flag.Int64("cachemb", experiments.DefaultMatrixCacheBytes>>20, "generated-matrix cache budget in MiB (0 disables memoisation)")
+		deadline   = flag.Duration("deadline", 0, "cancel the whole run after this duration (0 = none)")
+		failFast   = flag.Bool("failfast", false, "abort a sweep at the first failing cell instead of isolating it into an error row")
 		benchExp   = flag.String("benchexp", "fig9", "experiment the bench harness times (with -exp bench)")
 		jsonOut    = flag.Bool("json", false, "with -exp bench: also print the perf record as JSON on stdout")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -68,36 +86,81 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "sccsim: -exp or -list required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 
+	// code only ever ratchets up: a later cleanup failure cannot mask an
+	// earlier error, and a cleanup error turns a "successful" run red.
+	code := 0
+	errf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sccsim: "+format+"\n", args...)
+		if code < 1 {
+			code = 1
+		}
+	}
+
+	// SIGINT/SIGTERM and -deadline cancel the run context; the engine
+	// stops at its next matrix/cell/pass boundary and the cleanups below
+	// still flush profiles and metrics.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	var cpuFile *os.File
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatalf("creating %s: %v", *cpuProfile, err)
+			errf("creating %s: %v", *cpuProfile, err)
+			return code
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("starting CPU profile: %v", err)
+			f.Close()
+			errf("starting CPU profile: %v", err)
+			return code
 		}
-		defer pprof.StopCPUProfile()
+		cpuFile = f
 	}
+
+	var reporter *obs.Reporter
+	if *progress {
+		reporter = obs.NewReporter(obs.Default, os.Stderr, time.Second)
+		reporter.Start()
+	}
+	runSpan := obs.Default.StartSpan("run")
+
+	// The cleanups run on every exit path from here on, success or not,
+	// and surface their own failures: a truncated profile or an unwritten
+	// metrics snapshot is an error, not a silent shrug.
 	defer func() {
-		if *memProfile == "" {
-			return
+		runSpan.End()
+		if reporter != nil {
+			reporter.Stop()
 		}
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fatalf("creating %s: %v", *memProfile, err)
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errf("closing CPU profile %s: %v", *cpuProfile, err)
+			}
 		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatalf("writing heap profile: %v", err)
+		if *memProfile != "" {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				errf("%v", err)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut); err != nil {
+				errf("%v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sccsim: metrics written to %s\n", *metricsOut)
+			}
 		}
 	}()
 
@@ -108,39 +171,15 @@ func main() {
 		Parallelism: *parallel,
 		Sequential:  *sequential,
 		MatrixCache: sparse.NewMatrixCache(*cacheMB << 20),
-	}
-
-	var reporter *obs.Reporter
-	if *progress {
-		reporter = obs.NewReporter(obs.Default, os.Stderr, time.Second)
-		reporter.Start()
-	}
-	runSpan := obs.Default.StartSpan("run")
-	// finishObs closes the run span, flushes the last heartbeat and
-	// persists the -metrics snapshot; called on every successful exit
-	// path (fatalf exits without it, like the pprof defers).
-	finishObs := func() {
-		runSpan.End()
-		if reporter != nil {
-			reporter.Stop()
-		}
-		if *metricsOut == "" {
-			return
-		}
-		blob, err := obs.Default.SnapshotJSON()
-		if err != nil {
-			fatalf("metrics snapshot: %v", err)
-		}
-		if err := os.WriteFile(*metricsOut, blob, 0o644); err != nil {
-			fatalf("writing %s: %v", *metricsOut, err)
-		}
-		fmt.Fprintf(os.Stderr, "sccsim: metrics written to %s\n", *metricsOut)
+		Ctx:         ctx,
+		FailFast:    *failFast,
 	}
 
 	if *expID == "bench" {
-		runBench(cfg, *benchExp, *outDir, *jsonOut)
-		finishObs()
-		return
+		if err := runBench(cfg, *benchExp, *outDir, *jsonOut); err != nil {
+			errf("bench: %v", err)
+		}
+		return code
 	}
 
 	var toRun []experiments.Experiment
@@ -150,7 +189,8 @@ func main() {
 		e, ok := experiments.ByID(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "sccsim: unknown experiment %q (try -list)\n", *expID)
-			os.Exit(2)
+			code = 2
+			return code
 		}
 		toRun = []experiments.Experiment{e}
 	}
@@ -159,10 +199,11 @@ func main() {
 		start := time.Now()
 		ecfg := cfg
 		ecfg.Span = runSpan.StartChild("exp:" + e.ID)
-		tables, err := e.Run(ecfg)
+		tables, err := e.Execute(ecfg)
 		ecfg.Span.End()
 		if err != nil {
-			fatalf("%s: %v", e.ID, err)
+			errf("%s: %v", e.ID, err)
+			return code
 		}
 		fmt.Printf("== %s: %s  (scale %g, %v)\n\n", e.ID, e.Title, *scale, time.Since(start).Round(time.Millisecond))
 		for _, t := range tables {
@@ -174,20 +215,52 @@ func main() {
 		}
 		if *outDir != "" {
 			if err := writeTables(*outDir, e.ID, tables); err != nil {
-				fatalf("writing %s: %v", e.ID, err)
+				errf("writing %s: %v", e.ID, err)
+				return code
 			}
 		}
 	}
-	finishObs()
+	return code
+}
+
+// writeHeapProfile captures a post-GC heap profile, closing the file and
+// reporting write errors instead of leaving a silently truncated profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	runtime.GC()
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("writing heap profile %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing heap profile %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// writeMetrics persists the obs snapshot.
+func writeMetrics(path string) error {
+	blob, err := obs.Default.SnapshotJSON()
+	if err != nil {
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
 }
 
 // runBench times the serial vs parallel engine on one experiment and
 // persists the BENCH_<exp>.json perf record (in outDir when given, else
 // the working directory).
-func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) {
+func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) error {
 	rec, err := experiments.Bench(cfg, id)
 	if err != nil {
-		fatalf("bench: %v", err)
+		return err
 	}
 	fmt.Printf("== bench %s (scale %g, %d matrices, GOMAXPROCS %d)\n",
 		rec.Experiment, rec.Scale, rec.Matrices, rec.GoMaxProcs)
@@ -198,7 +271,7 @@ func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) {
 
 	blob, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		fatalf("bench: %v", err)
+		return err
 	}
 	blob = append(blob, '\n')
 	if jsonOut {
@@ -208,18 +281,14 @@ func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) {
 	if dir == "" {
 		dir = "."
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatalf("bench: %v", err)
+		return err
 	}
 	path := filepath.Join(dir, "BENCH_"+id+".json")
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
-		fatalf("bench: %v", err)
+		return err
 	}
 	fmt.Printf("perf record written to %s\n", path)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sccsim: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }
 
 // writeTables persists an experiment's tables as <outdir>/<id>.txt (aligned)

@@ -13,11 +13,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sparse"
@@ -39,6 +43,9 @@ var (
 	// matrixFetch times them.
 	matrixVisits = obs.Default.Counter("experiments.matrix.visits")
 	matrixFetch  = obs.Default.Timer("experiments.matrix.fetch_seconds")
+	// cellErrors counts failed (matrix, cell) units that were isolated
+	// into error rows instead of aborting a sweep (see Config.Errors).
+	cellErrors = obs.Default.Counter("experiments.cell.errors")
 )
 
 // Config controls experiment scale and engine resources.
@@ -76,6 +83,34 @@ type Config struct {
 	// per-UE walks roll up inside each cell (internal/obs). Purely
 	// observational - output is identical with or without it.
 	Span *obs.Span
+	// Ctx bounds the whole run: a cancelled or expired context stops the
+	// engine from starting further matrices and cells and aborts in-flight
+	// simulations at their pass boundaries. nil means Background (never
+	// cancelled), under which output is bit-identical to the pre-context
+	// engine.
+	Ctx context.Context
+	// FailFast aborts a sweep at the first failing cell, cancelling its
+	// in-flight siblings - the engine's historical all-or-nothing
+	// behaviour. Without it (and with Errors attached) a failing
+	// (matrix, cell) unit is recorded as an error row and the sweep
+	// continues; means then cover only the completed matrices.
+	FailFast bool
+	// Fault is the deterministic fault-injection plan the chaos tests
+	// drive (nil injects nothing; see internal/fault).
+	Fault *fault.Plan
+	// Errors collects isolated per-unit failures. nil (the default for a
+	// direct Run call) keeps the historical abort-on-first-error
+	// semantics; Experiment.Execute attaches a log and renders it as an
+	// error table after the run.
+	Errors *ErrorLog
+}
+
+// context resolves the Ctx knob (nil means Background).
+func (c Config) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // DefaultMatrixCacheBytes bounds the shared generated-matrix cache: large
@@ -105,6 +140,13 @@ func (c Config) validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("experiments: negative parallelism")
+	}
+	if c.Sequential && c.Parallelism > 1 {
+		// Sequential forces the serial reference engine, so a wider pool
+		// request cannot be honoured; rejecting the combination beats
+		// silently ignoring it. Parallelism 1 is allowed - it *is* the
+		// serial pool - because the bench harness pins both explicitly.
+		return fmt.Errorf("experiments: Sequential with Parallelism %d: the sequential engine always runs serially; drop one of the two", c.Parallelism)
 	}
 	return nil
 }
@@ -163,13 +205,39 @@ func (c Config) simOptions(o sim.Options) sim.Options {
 }
 
 // fetchMatrix pulls one matrix through the cache under the harness's
-// fetch accounting.
-func (c Config) fetchMatrix(e sparse.TestbedEntry) *sparse.CSR {
+// fetch accounting. It fails when the run's context is done or the fault
+// plan errors this entry's generation.
+func (c Config) fetchMatrix(e sparse.TestbedEntry) (*sparse.CSR, error) {
+	if err := c.context().Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Fault.MatrixError(e.Seed(), e.Name); err != nil {
+		return nil, err
+	}
 	start := time.Now() //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
 	a := c.matrixCache().Get(e, c.Scale)
 	matrixFetch.Observe(time.Since(start)) //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
 	matrixVisits.Add(1)
-	return a
+	return a, nil
+}
+
+// isolate decides whether a failed per-matrix unit of work is swallowed:
+// it records the failure as an error row and returns true when graceful
+// degradation is active, false when the caller must abort (FailFast, no
+// error log attached, or the failure is really the run's own cancellation
+// propagating). The isolation boundary is the matrix: a failing cell keeps
+// its identity inside err but excludes its whole matrix from the sweep's
+// aggregates, so partial rows never appear in result tables.
+func (c Config) isolate(matrix string, err error) bool {
+	if c.FailFast || c.Errors == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	c.Errors.record(matrix, err)
+	cellErrors.Add(1)
+	return true
 }
 
 // forEachMatrix fetches each selected matrix at the configured scale
@@ -178,15 +246,22 @@ func (c Config) fetchMatrix(e sparse.TestbedEntry) *sparse.CSR {
 // not fit in memory all at once). Matrices handed to fn are shared and
 // must be treated as read-only. fn receives a copy of the configuration
 // whose Span is the per-matrix child span, so runGrid calls made through
-// it nest their cell spans under the matrix.
+// it nest their cell spans under the matrix. A failing matrix (generation
+// or fn) is isolated into an error row when Config.Errors is attached and
+// FailFast is off; otherwise it aborts the walk.
 func (c Config) forEachMatrix(fn func(mc Config, e sparse.TestbedEntry, a *sparse.CSR) error) error {
 	for _, e := range c.entries() {
 		mc := c
 		mc.Span = c.Span.StartChild("matrix:" + e.Name)
-		a := c.fetchMatrix(e)
-		err := fn(mc, e, a)
+		a, err := c.fetchMatrix(e)
+		if err == nil {
+			err = fn(mc, e, a)
+		}
 		mc.Span.End()
 		if err != nil {
+			if c.isolate(e.Name, err) {
+				continue
+			}
 			return fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
 		}
 	}
@@ -205,10 +280,13 @@ func oneMachine(m *sim.Machine, opts sim.Options) sweepCell {
 	return sweepCell{machines: []*sim.Machine{m}, opts: opts}
 }
 
-// cellOptions threads engine parallelism and a per-cell child span into
-// one cell's sim options.
-func (c Config) cellOptions(o sim.Options) (sim.Options, *obs.Span) {
+// cellOptions threads engine parallelism, the run context and a per-cell
+// child span into one cell's sim options.
+func (c Config) cellOptions(ctx context.Context, o sim.Options) (sim.Options, *obs.Span) {
 	o = c.simOptions(o)
+	if o.Ctx == nil {
+		o.Ctx = ctx
+	}
 	sp := c.Span.StartChild("cell")
 	o.Span = sp
 	return o, sp
@@ -216,8 +294,11 @@ func (c Config) cellOptions(o sim.Options) (sim.Options, *obs.Span) {
 
 // runGrid simulates every cell on matrix a, fanning independent cells out
 // over the host pool. results[ci][j] is cell ci under the cell's machine
-// j, bit-identical to serial individual runs regardless of pool size.
+// j, bit-identical to serial individual runs regardless of pool size. Cell
+// failures (injected or genuine) come back joined, each wrapped with its
+// cell index; under FailFast the first failure cancels in-flight siblings.
 func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, error) {
+	ctx := c.context()
 	if c.Sequential {
 		// Seed-equivalent reference: every machine of every cell priced
 		// by its own full cache walk, in order. The sweep path is proven
@@ -225,13 +306,19 @@ func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, erro
 		// wall clock differs.
 		results := make([][]*sim.Result, len(cells))
 		for ci, cell := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := c.Fault.CellError(a.Name, ci); err != nil {
+				return nil, fmt.Errorf("cell %d: %w", ci, err)
+			}
 			results[ci] = make([]*sim.Result, len(cell.machines))
-			opts, sp := c.cellOptions(cell.opts)
+			opts, sp := c.cellOptions(ctx, cell.opts)
 			for j, m := range cell.machines {
 				r, err := m.RunSpMV(a, nil, opts)
 				if err != nil {
 					sp.End()
-					return nil, err
+					return nil, fmt.Errorf("cell %d: %w", ci, err)
 				}
 				results[ci][j] = r
 			}
@@ -239,17 +326,37 @@ func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, erro
 		}
 		return results, nil
 	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([][]*sim.Result, len(cells))
 	errs := make([]error, len(cells))
-	cellPool.ForEach(len(cells), c.workers(), func(ci int) {
-		opts, sp := c.cellOptions(cells[ci].opts)
-		results[ci], errs[ci] = sim.RunSpMVSweep(cells[ci].machines, a, nil, opts)
-		sp.End()
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	_ = cellPool.ForEachCtx(cctx, len(cells), c.workers(), func(ci int) {
+		if err := c.Fault.CellError(a.Name, ci); err != nil {
+			errs[ci] = err
+		} else {
+			opts, sp := c.cellOptions(cctx, cells[ci].opts)
+			results[ci], errs[ci] = sim.RunSpMVSweep(cells[ci].machines, a, nil, opts)
+			sp.End()
 		}
+		if errs[ci] != nil && c.FailFast {
+			cancel() // a failed cell aborts its in-flight siblings promptly
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		// The run's own context (signal, deadline) aborted the grid.
+		return nil, err
+	}
+	var joined []error
+	for ci, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) {
+			// Cancelled siblings are fallout of the root-cause cell under
+			// FailFast, not failures of their own.
+			continue
+		}
+		joined = append(joined, fmt.Errorf("cell %d: %w", ci, err))
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
 	}
 	return results, nil
 }
@@ -257,29 +364,36 @@ func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, erro
 // gridMeans generates each selected matrix once and runs every cell on it,
 // returning the suite-mean MFLOPS per (cell, machine) - the inverted-loop
 // core of every configuration-sweep experiment (the paper reports
-// arithmetic means across the suite).
+// arithmetic means across the suite). An isolated failing matrix (see
+// Config.Errors) is excluded from the means; with no failures the
+// contributions arrive in the exact order of the historical fixed-size
+// walk, so the means are bit-identical.
 func (c Config) gridMeans(cells []sweepCell) ([][]float64, error) {
-	entries := c.entries()
-	vals := make([][][]float64, len(cells)) // [cell][machine][matrix]
+	vals := make([][][]float64, len(cells)) // [cell][machine] -> per-matrix values
 	for ci, cell := range cells {
 		vals[ci] = make([][]float64, len(cell.machines))
-		for j := range cell.machines {
-			vals[ci][j] = make([]float64, len(entries))
-		}
 	}
-	for mi, e := range entries {
+	for _, e := range c.entries() {
 		mc := c
 		mc.Span = c.Span.StartChild("matrix:" + e.Name)
-		a := c.fetchMatrix(e)
-		rs, err := mc.runGrid(a, cells)
+		a, err := c.fetchMatrix(e)
+		if err == nil {
+			var rs [][]*sim.Result
+			rs, err = mc.runGrid(a, cells)
+			if err == nil {
+				for ci := range cells {
+					for j := range rs[ci] {
+						vals[ci][j] = append(vals[ci][j], rs[ci][j].MFLOPS)
+					}
+				}
+			}
+		}
 		mc.Span.End()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
-		}
-		for ci := range cells {
-			for j := range rs[ci] {
-				vals[ci][j][mi] = rs[ci][j].MFLOPS
+			if c.isolate(e.Name, err) {
+				continue
 			}
+			return nil, fmt.Errorf("experiments: matrix %s: %w", e.Name, err)
 		}
 	}
 	means := make([][]float64, len(cells))
@@ -302,14 +416,76 @@ func (c Config) meanMFLOPS(m *sim.Machine, opts sim.Options) (float64, error) {
 	return means[0][0], nil
 }
 
+// CellError is one isolated failure of a sweep: the matrix it happened on
+// and the underlying error (which keeps the failing cell's identity, e.g.
+// "cell 3: ... injected fault").
+type CellError struct {
+	Matrix string
+	Err    error
+}
+
+// ErrorLog collects isolated failures across a run. It is safe for
+// concurrent use; attach one via Config.Errors (or run through
+// Experiment.Execute, which attaches one for you).
+type ErrorLog struct {
+	mu   sync.Mutex
+	errs []CellError
+}
+
+func (l *ErrorLog) record(matrix string, err error) {
+	l.mu.Lock()
+	l.errs = append(l.errs, CellError{Matrix: matrix, Err: err})
+	l.mu.Unlock()
+}
+
+// Errors returns a copy of the recorded failures in record order.
+func (l *ErrorLog) Errors() []CellError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]CellError(nil), l.errs...)
+}
+
+// Len reports how many failures were recorded.
+func (l *ErrorLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.errs)
+}
+
 // Experiment is one regenerable artefact.
 type Experiment struct {
 	// ID is the registry key (e.g. "fig5").
 	ID string
 	// Title describes the paper artefact being regenerated.
 	Title string
-	// Run executes the experiment.
+	// Run executes the experiment with the historical semantics: any
+	// failing unit of work aborts it (unless the caller attached
+	// Config.Errors itself). Prefer Execute for degradation-aware runs.
 	Run func(Config) ([]*stats.Table, error)
+}
+
+// Execute runs the experiment with graceful degradation: unless FailFast
+// is set, an ErrorLog is attached (if the caller didn't supply one) so
+// failing (matrix, cell) units become error rows in a trailing "failed
+// cells" table instead of aborting the sweep. With no failures the output
+// is exactly Run's - no extra table, bit-identical rendering.
+func (e Experiment) Execute(cfg Config) ([]*stats.Table, error) {
+	if cfg.Errors == nil && !cfg.FailFast {
+		cfg.Errors = &ErrorLog{}
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return tables, err
+	}
+	if cfg.Errors != nil && cfg.Errors.Len() > 0 {
+		t := stats.NewTable(e.Title+" - failed cells", "matrix", "error")
+		for _, ce := range cfg.Errors.Errors() {
+			t.AddRow(ce.Matrix, ce.Err.Error())
+		}
+		t.AddNote("%d unit(s) failed and were isolated; aggregates above cover only the completed matrices", cfg.Errors.Len())
+		tables = append(tables, t)
+	}
+	return tables, nil
 }
 
 var registry []Experiment

@@ -1,0 +1,147 @@
+// Package fault is the deterministic fault-injection harness behind the
+// chaos tests: a Plan describes exactly which communication operation,
+// message, matrix generation or simulation cell fails, and the RCCE
+// runtime (internal/rcce) and experiment engine (internal/experiments)
+// consult it at well-defined points. A nil or zero-value Plan injects
+// nothing, so production paths pay one nil check.
+//
+// Plans are immutable once handed to a runtime: all matching state (op
+// sequence numbers, per-pair message counters) lives in the consumer, so
+// the same Plan can drive repeated runs and every run sees the same
+// faults at the same points.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrInjected marks every failure this package fabricates, so tests and
+// error tables can tell injected faults from genuine engine errors with
+// errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// RankFault pins a fault to one RCCE rank's AfterOps-th communication
+// operation. Sends, receives and barriers all count, in the rank's own
+// program order, starting at 0.
+type RankFault struct {
+	Rank     int
+	AfterOps int
+}
+
+// Message identifies one point-to-point message by its (src, dst) pair
+// and per-pair sequence number: Seq 0 is the pair's first Send call.
+type Message struct {
+	Src, Dst, Seq int
+}
+
+// Delay matches a message like Message and delivers it late by By.
+type Delay struct {
+	Message
+	By time.Duration
+}
+
+// Cell pins a fault to one (matrix, grid-cell) simulation cell of an
+// experiment sweep.
+type Cell struct {
+	// MatrixPrefix matches generated matrix names by prefix, so "gupta3"
+	// also matches the scaled "gupta3@0.25". Empty matches every matrix.
+	MatrixPrefix string
+	// Index is the cell index within the experiment grid; a negative
+	// index matches every cell of the matched matrix.
+	Index int
+}
+
+// RankAction is what a rank must do at one of its operations.
+type RankAction int
+
+const (
+	// ActNone proceeds normally.
+	ActNone RankAction = iota
+	// ActWedge blocks the rank forever, simulating hung hardware; only a
+	// deadline watchdog can convert it into a structured DeadlockError.
+	ActWedge
+	// ActFail makes the operation return ErrInjected mid-iteration.
+	ActFail
+)
+
+// Plan is a deterministic fault-injection schedule. The zero value (and a
+// nil *Plan) injects nothing; every field arms one fault class.
+type Plan struct {
+	// Wedge blocks the matched rank forever at the matched op.
+	Wedge *RankFault
+	// Fail makes the matched rank's op return ErrInjected.
+	Fail *RankFault
+	// Drop lists messages that silently vanish: the Send completes but
+	// nothing is delivered, so the receiver blocks (and, under a
+	// deadline, surfaces in the watchdog's DeadlockError).
+	Drop []Message
+	// Slow lists messages delivered late by their Delay.
+	Slow []Delay
+	// MatrixSeed errors the generation of the testbed entry carrying
+	// that deterministic generator seed (0 = none; see
+	// sparse.TestbedEntry.Seed).
+	MatrixSeed int64
+	// Cell errors one simulation cell of an experiment grid.
+	Cell *Cell
+}
+
+// OnRankOp reports what the rank must do at its seq-th communication
+// operation. Nil-safe.
+func (p *Plan) OnRankOp(rank, seq int) RankAction {
+	if p == nil {
+		return ActNone
+	}
+	if p.Wedge != nil && p.Wedge.Rank == rank && p.Wedge.AfterOps == seq {
+		return ActWedge
+	}
+	if p.Fail != nil && p.Fail.Rank == rank && p.Fail.AfterOps == seq {
+		return ActFail
+	}
+	return ActNone
+}
+
+// OnMessage reports whether the seq-th message from src to dst is dropped
+// and by how much it is delayed (at most one applies; drop wins). Nil-safe.
+func (p *Plan) OnMessage(src, dst, seq int) (drop bool, delay time.Duration) {
+	if p == nil {
+		return false, 0
+	}
+	for _, m := range p.Drop {
+		if m.Src == src && m.Dst == dst && m.Seq == seq {
+			return true, 0
+		}
+	}
+	for _, d := range p.Slow {
+		if d.Src == src && d.Dst == dst && d.Seq == seq {
+			return false, d.By
+		}
+	}
+	return false, 0
+}
+
+// MatrixError returns the injected generation error for the testbed entry
+// with the given seed, or nil. Nil-safe.
+func (p *Plan) MatrixError(seed int64, name string) error {
+	if p == nil || p.MatrixSeed == 0 || p.MatrixSeed != seed {
+		return nil
+	}
+	return fmt.Errorf("fault: matrix %s (seed %d): %w", name, seed, ErrInjected)
+}
+
+// CellError returns the injected error for grid cell index `cell` running
+// on the named (possibly scale-suffixed) matrix, or nil. Nil-safe.
+func (p *Plan) CellError(matrix string, cell int) error {
+	if p == nil || p.Cell == nil {
+		return nil
+	}
+	if p.Cell.MatrixPrefix != "" && !strings.HasPrefix(matrix, p.Cell.MatrixPrefix) {
+		return nil
+	}
+	if p.Cell.Index >= 0 && p.Cell.Index != cell {
+		return nil
+	}
+	return fmt.Errorf("fault: cell %d on matrix %s: %w", cell, matrix, ErrInjected)
+}

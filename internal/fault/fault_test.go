@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if a := p.OnRankOp(0, 0); a != ActNone {
+		t.Fatalf("nil plan rank action = %v", a)
+	}
+	if drop, delay := p.OnMessage(0, 1, 0); drop || delay != 0 {
+		t.Fatalf("nil plan message action = %v %v", drop, delay)
+	}
+	if err := p.MatrixError(1001, "m"); err != nil {
+		t.Fatalf("nil plan matrix error = %v", err)
+	}
+	if err := p.CellError("m", 0); err != nil {
+		t.Fatalf("nil plan cell error = %v", err)
+	}
+	zero := &Plan{}
+	if a := zero.OnRankOp(0, 0); a != ActNone {
+		t.Fatalf("zero plan rank action = %v", a)
+	}
+}
+
+func TestRankFaultMatching(t *testing.T) {
+	p := &Plan{
+		Wedge: &RankFault{Rank: 2, AfterOps: 3},
+		Fail:  &RankFault{Rank: 1, AfterOps: 0},
+	}
+	if a := p.OnRankOp(2, 3); a != ActWedge {
+		t.Fatalf("wedge not matched: %v", a)
+	}
+	if a := p.OnRankOp(1, 0); a != ActFail {
+		t.Fatalf("fail not matched: %v", a)
+	}
+	for _, c := range [][2]int{{2, 2}, {2, 4}, {0, 3}, {1, 1}} {
+		if a := p.OnRankOp(c[0], c[1]); a != ActNone {
+			t.Fatalf("rank %d seq %d matched spuriously: %v", c[0], c[1], a)
+		}
+	}
+}
+
+func TestMessageMatching(t *testing.T) {
+	p := &Plan{
+		Drop: []Message{{Src: 0, Dst: 1, Seq: 2}},
+		Slow: []Delay{{Message: Message{Src: 3, Dst: 0, Seq: 0}, By: 5 * time.Millisecond}},
+	}
+	if drop, _ := p.OnMessage(0, 1, 2); !drop {
+		t.Fatal("drop not matched")
+	}
+	if drop, delay := p.OnMessage(3, 0, 0); drop || delay != 5*time.Millisecond {
+		t.Fatalf("delay not matched: %v %v", drop, delay)
+	}
+	if drop, delay := p.OnMessage(1, 0, 2); drop || delay != 0 {
+		t.Fatal("reversed pair matched spuriously")
+	}
+	// Drop wins when both match the same message.
+	both := &Plan{
+		Drop: []Message{{Src: 0, Dst: 1, Seq: 0}},
+		Slow: []Delay{{Message: Message{Src: 0, Dst: 1, Seq: 0}, By: time.Second}},
+	}
+	if drop, delay := both.OnMessage(0, 1, 0); !drop || delay != 0 {
+		t.Fatalf("drop should win over delay: %v %v", drop, delay)
+	}
+}
+
+func TestMatrixAndCellErrors(t *testing.T) {
+	p := &Plan{MatrixSeed: 1005, Cell: &Cell{MatrixPrefix: "gupta3", Index: 2}}
+	if err := p.MatrixError(1005, "gupta3@0.25"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matrix fault = %v", err)
+	}
+	if err := p.MatrixError(1004, "other"); err != nil {
+		t.Fatalf("wrong seed matched: %v", err)
+	}
+	if err := p.CellError("gupta3@0.25", 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cell fault = %v", err)
+	}
+	if err := p.CellError("gupta3@0.25", 1); err != nil {
+		t.Fatalf("wrong cell matched: %v", err)
+	}
+	if err := p.CellError("F1@0.25", 2); err != nil {
+		t.Fatalf("wrong matrix matched: %v", err)
+	}
+	anyCell := &Plan{Cell: &Cell{Index: -1}}
+	if err := anyCell.CellError("anything", 7); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wildcard cell did not match: %v", err)
+	}
+}

@@ -6,11 +6,14 @@ import "go/ast"
 // fan-out primitive the engine has, (*obs.Pool).ForEach: a bare `go`
 // statement anywhere else bypasses the pool's task accounting, occupancy
 // sampling and the serial reference path the determinism tests pin down.
-// The packages in Config.GoroutineAllowed (the obs pool itself and the
-// RCCE thread model, whose UEs *are* goroutines) are exempt.
+// Only the packages in Config.GoroutineAllowed (the obs pool itself) are
+// exempt wholesale; goroutines that legitimately cannot be pool tasks -
+// the RCCE UEs (the thread model under test), the iRCCE progress engine
+// and the deadline watchdog supervising blocked UEs - each carry their own
+// //sccvet:allow bare-goroutine justification at the go statement.
 var analyzerGoroutine = &Analyzer{
 	Name: "bare-goroutine",
-	Doc:  "flags go statements outside the obs worker pool and the RCCE thread model",
+	Doc:  "flags go statements outside the obs worker pool",
 	Run:  runGoroutine,
 }
 
@@ -22,7 +25,7 @@ func runGoroutine(p *Pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				p.Reportf(g.Pos(),
-					"bare goroutine outside the obs pool and the RCCE thread model: fan work out through (*obs.Pool).ForEach so it is instrumented and has a serial reference path, or annotate //sccvet:allow bare-goroutine <reason>")
+					"bare goroutine outside the obs pool: fan work out through (*obs.Pool).ForEach so it is instrumented and has a serial reference path, or annotate //sccvet:allow bare-goroutine <reason>")
 			}
 			return true
 		})

@@ -11,7 +11,8 @@
 //   - nondeterminism:     wall-clock calls, global math/rand, and
 //     map-order-dependent writes inside the simulation packages
 //   - bare-goroutine:     goroutines outside the instrumented obs pool
-//     and the RCCE thread model
+//     (internal/rcce justifies each of its UE/progress/watchdog
+//     goroutines with an explicit directive)
 //   - geometry-literal:   magic cache-line/topology constants that must
 //     be derived from internal/scc
 //   - atomic-consistency: fields accessed both via sync/atomic and by
@@ -47,7 +48,10 @@ type Config struct {
 	// (address/topology arithmetic must derive from internal/scc).
 	GeometryPackages []string
 	// GoroutineAllowed are the packages permitted to start bare
-	// goroutines: the instrumented obs pool and the RCCE thread model.
+	// goroutines without per-site justification: only the instrumented
+	// obs pool itself. Everything else - including the RCCE thread
+	// model's UE, progress-engine and watchdog goroutines - must justify
+	// each go statement with //sccvet:allow bare-goroutine <reason>.
 	GoroutineAllowed []string
 }
 
@@ -71,7 +75,6 @@ func DefaultConfig() Config {
 		}, sim...),
 		GoroutineAllowed: []string{
 			"repro/internal/obs",
-			"repro/internal/rcce",
 		},
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,14 +46,30 @@ func (r *Registry) Pool(prefix string) *Pool {
 // most workers goroutines. fn must be safe to call concurrently for
 // distinct indices when workers > 1.
 func (p *Pool) ForEach(n, workers int, fn func(i int)) {
+	_ = p.ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach bounded by a context: cancellation stops the pool
+// from *starting* further tasks and returns ctx.Err(); tasks already
+// running finish normally (fn observes cancellation itself if it needs
+// finer granularity). A nil ctx means Background. With an un-cancelled
+// context the scheduling is identical to ForEach, so the serial reference
+// path and the determinism guarantees are unchanged.
+func (p *Pool) ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			p.run(i, fn)
 		}
-		return
+		return ctx.Err()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -65,11 +82,17 @@ func (p *Pool) ForEach(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // run executes one task under the pool's accounting.

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxNilAndBackgroundMatchForEach(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := New().Pool("t").ForEachCtx(nil, 10, workers, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: nil ctx: %v", workers, err)
+		}
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: ran %d/10 tasks", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxSerialStopsAtCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := New().Pool("t").ForEachCtx(ctx, 10, 1, func(i int) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Tasks 0..2 ran; the serial path checks before each start.
+	if ran != 3 {
+		t.Fatalf("ran %d tasks after cancelling inside task 2, want 3", ran)
+	}
+}
+
+func TestForEachCtxParallelStopsDispatching(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any dispatch
+	var ran atomic.Int64
+	err := New().Pool("t").ForEachCtx(ctx, 100, 4, func(i int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled pool still ran %d tasks", ran.Load())
+	}
+}
+
+func TestForEachCtxMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := New().Pool("t").ForEachCtx(ctx, 1000, 2, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// In-flight tasks finish; no new dispatches after the cancel lands. The
+	// exact count is timing-dependent but must be far below the full range.
+	if n := ran.Load(); n < 5 || n > 900 {
+		t.Fatalf("ran %d/1000 tasks after cancelling at task 5", n)
+	}
+}

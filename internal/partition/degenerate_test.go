@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// degenerate CSR skeletons exercising ByNNZ's leftover-row branch
+// (partition.go: "pathological Ptr"): empty rows, all mass in one row, and
+// more UEs than rows. Only Ptr matters to the partitioner; Index/Val stay
+// empty-but-consistent.
+func skeleton(name string, ptr []int32) *sparse.CSR {
+	n := len(ptr) - 1
+	nnz := int(ptr[n])
+	return &sparse.CSR{
+		Name: name, Rows: n, Cols: n,
+		Ptr:   ptr,
+		Index: make([]int32, nnz),
+		Val:   make([]float64, nnz),
+	}
+}
+
+// TestByNNZDegeneratePtrCoversEveryRowOnce is the regression contract for
+// the leftover-row branch: whatever shape Ptr takes, every row must land on
+// exactly one UE.
+func TestByNNZDegeneratePtrCoversEveryRowOnce(t *testing.T) {
+	cases := []struct {
+		name string
+		ptr  []int32
+	}{
+		{"zero-matrix", []int32{0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"all-in-first-row", []int32{0, 100, 100, 100, 100, 100}},
+		{"all-in-last-row", []int32{0, 0, 0, 0, 0, 100}},
+		{"single-heavy-middle", []int32{0, 1, 1, 90, 91, 92}},
+		{"single-row", []int32{0, 7}},
+		{"alternating-empty", []int32{0, 5, 5, 10, 10, 15, 15, 20}},
+		{"front-loaded", []int32{0, 50, 60, 61, 62, 63, 64}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := skeleton(tc.name, tc.ptr)
+			for _, k := range []int{1, 2, 3, a.Rows, a.Rows + 3, 48} {
+				parts := ByNNZ(a, k)
+				if len(parts) != k {
+					t.Fatalf("k=%d: got %d parts", k, len(parts))
+				}
+				if err := parts.Validate(a.Rows); err != nil {
+					t.Errorf("k=%d: %v", k, err)
+				}
+				// Contiguity: concatenating the blocks must walk 0..n-1 in
+				// order (the CSR streams rely on it).
+				next := int32(0)
+				for _, rows := range parts {
+					for _, r := range rows {
+						if r != next {
+							t.Fatalf("k=%d: rows not contiguous ascending: got %d, want %d", k, r, next)
+						}
+						next++
+					}
+				}
+			}
+		})
+	}
+}

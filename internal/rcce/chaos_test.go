@@ -1,0 +1,170 @@
+package rcce
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/scc"
+)
+
+// pingPong is a 4-rank program with a barrier and a ring of point-to-point
+// messages - enough traffic that every fault class below has something to
+// hit. Returns rank 0's received value for sanity checks.
+func pingPong(t *testing.T, opts Options) error {
+	t.Helper()
+	return RunWith(opts, 4, nil, scc.Uniform(scc.Conf0), func(u *UE) error {
+		if err := u.Barrier(); err != nil {
+			return err
+		}
+		next := (u.Rank() + 1) % u.NumUEs()
+		prev := (u.Rank() + u.NumUEs() - 1) % u.NumUEs()
+		msg := []byte{byte(u.Rank())}
+		got := make([]byte, 1)
+		// Even ranks send first; odd ranks receive first - deadlock-free.
+		if u.Rank()%2 == 0 {
+			if err := u.Send(msg, next); err != nil {
+				return err
+			}
+			if err := u.Recv(got, prev); err != nil {
+				return err
+			}
+		} else {
+			if err := u.Recv(got, prev); err != nil {
+				return err
+			}
+			if err := u.Send(msg, next); err != nil {
+				return err
+			}
+		}
+		if got[0] != byte(prev) {
+			t.Errorf("rank %d received %d, want %d", u.Rank(), got[0], prev)
+		}
+		return u.Barrier()
+	})
+}
+
+func TestChaosNoFaultUnderDeadline(t *testing.T) {
+	// A generous deadline and an empty plan must change nothing.
+	if err := pingPong(t, Options{Deadline: 5 * time.Second, Fault: &fault.Plan{}}); err != nil {
+		t.Fatalf("fault-free run under deadline failed: %v", err)
+	}
+}
+
+func TestChaosWedgedRankBecomesDeadlockError(t *testing.T) {
+	// Rank 2 wedges at its very first op (the opening barrier): everyone
+	// else blocks in that barrier and the watchdog must name them all.
+	start := time.Now()
+	err := pingPong(t, Options{
+		Deadline: 50 * time.Millisecond,
+		Fault:    &fault.Plan{Wedge: &fault.RankFault{Rank: 2, AfterOps: 0}},
+	})
+	elapsed := time.Since(start)
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("wedged rank returned %v, want a *DeadlockError", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadlock detection took %v with a 50ms deadline", elapsed)
+	}
+	ranks := derr.BlockedRanks()
+	if len(ranks) == 0 {
+		t.Fatal("DeadlockError names no blocked ranks")
+	}
+	seen := map[int]bool{}
+	for _, r := range ranks {
+		seen[r] = true
+	}
+	if !seen[2] {
+		t.Errorf("DeadlockError %v does not name the wedged rank 2", derr)
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i-1] > ranks[i] {
+			t.Errorf("BlockedRanks not sorted: %v", ranks)
+		}
+	}
+	if derr.Error() == "" || derr.Deadline != 50*time.Millisecond {
+		t.Errorf("malformed DeadlockError: %v", derr)
+	}
+}
+
+func TestChaosDroppedMessageBecomesDeadlockError(t *testing.T) {
+	// Drop rank 0's first message to rank 1: rank 1 blocks in Recv forever
+	// and the watchdog must name it with the peer it waited on.
+	err := pingPong(t, Options{
+		Deadline: 50 * time.Millisecond,
+		Fault:    &fault.Plan{Drop: []fault.Message{{Src: 0, Dst: 1, Seq: 0}}},
+	})
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("dropped message returned %v, want a *DeadlockError", err)
+	}
+	foundRecv := false
+	for _, op := range derr.Blocked {
+		if op.Rank == 1 && op.Op == "recv" && op.Peer == 0 {
+			foundRecv = true
+		}
+	}
+	if !foundRecv {
+		t.Errorf("DeadlockError %v does not show rank 1 blocked receiving from rank 0", derr)
+	}
+}
+
+func TestChaosDelayedMessageStillCompletes(t *testing.T) {
+	// A delay well under the deadline must not fail the run.
+	err := pingPong(t, Options{
+		Deadline: 2 * time.Second,
+		Fault: &fault.Plan{Slow: []fault.Delay{
+			{Message: fault.Message{Src: 0, Dst: 1, Seq: 0}, By: 10 * time.Millisecond},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("delayed run failed: %v", err)
+	}
+}
+
+func TestChaosFailedRankPropagatesInjectedError(t *testing.T) {
+	// Rank 3 fails at its first op; the program must end (not hang: its
+	// peers' rendezvous are freed by the watchdog) and the joined error
+	// must carry the injected marker.
+	err := pingPong(t, Options{
+		Deadline: 50 * time.Millisecond,
+		Fault:    &fault.Plan{Fail: &fault.RankFault{Rank: 3, AfterOps: 0}},
+	})
+	if err == nil {
+		t.Fatal("failed rank produced no error")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v does not wrap fault.ErrInjected", err)
+	}
+}
+
+func TestChaosSubcommBarrierPoisoned(t *testing.T) {
+	// Wedge a rank inside a subcommunicator barrier: the watchdog must
+	// poison the group barrier too, not just the global one.
+	err := RunWith(Options{
+		Deadline: 50 * time.Millisecond,
+		// Split's coordination barrier is not a counted rank op, so the
+		// subcomm barrier is rank 1's op 0.
+		Fault: &fault.Plan{Wedge: &fault.RankFault{Rank: 1, AfterOps: 0}},
+	}, 4, nil, scc.Uniform(scc.Conf0), func(u *UE) error {
+		sc, err := u.Split("half", u.Rank()%2, u.Rank())
+		if err != nil {
+			return err
+		}
+		return sc.Barrier()
+	})
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("wedged subcomm returned %v, want a *DeadlockError", err)
+	}
+}
+
+func TestRunWithRejectsNegativeDeadline(t *testing.T) {
+	err := RunWith(Options{Deadline: -time.Second}, 2, nil, scc.Uniform(scc.Conf0),
+		func(u *UE) error { return nil })
+	if err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+}

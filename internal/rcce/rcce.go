@@ -10,6 +10,13 @@
 // The package is *functionally* real - messages actually move between
 // goroutines and a misordered program really deadlocks - while performance
 // figures come from the separate timing simulator in internal/sim.
+//
+// Robustness: RunWith arms a per-operation deadline watchdog that converts
+// a wedged program into a structured DeadlockError naming the blocked
+// ranks and operations, and accepts a fault.Plan that deterministically
+// wedges or fails a rank mid-iteration and drops or delays individual
+// messages (the chaos-test harness). Run, without options, keeps RCCE's
+// original block-forever semantics.
 package rcce
 
 import (
@@ -19,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/scc"
 )
 
@@ -26,18 +34,41 @@ import (
 // message passing buffer: one UE's MPB share.
 const ChunkBytes = scc.MPBBytesPerCore
 
+// Options configures a Run beyond the paper's defaults.
+type Options struct {
+	// Deadline bounds every blocking communication rendezvous (send and
+	// receive chunks, barriers, the collectives built on them). When any
+	// single rendezvous stays blocked past the deadline, a watchdog
+	// aborts the whole program with a DeadlockError naming the blocked
+	// ranks and ops. 0 keeps RCCE's block-forever semantics.
+	Deadline time.Duration
+	// Fault is the deterministic fault-injection plan consulted at every
+	// communication operation (nil injects nothing). A wedged rank only
+	// terminates if Deadline is also set - exactly like real hung
+	// hardware under a watchdog.
+	Fault *fault.Plan
+}
+
 // Comm is one parallel program instance: the state shared by its UEs.
 //
-// Concurrency audit (sccvet atomic-consistency pass): n, mapping and
-// started are written once before Run launches the UE goroutines and are
-// read-only afterwards (the go statement is the happens-before edge); the
-// channel table is guarded by chansMu, the shared-memory and split tables
-// by shmMu, the mutable frequency-domain record by domMu, and the traffic
-// counters are typed atomics, which the analyzer prefers because a plain
-// access to them cannot compile.
+// Concurrency audit (sccvet atomic-consistency pass): n, mapping, deadline,
+// plan, watch and started are written once before Run launches the UE
+// goroutines and are read-only afterwards (the go statement is the
+// happens-before edge); the channel table and per-pair message counters are
+// guarded by chansMu, the shared-memory and split tables by shmMu, the
+// barrier registry by barMu, the mutable frequency-domain record by domMu,
+// and the traffic/op counters are typed atomics, which the analyzer prefers
+// because a plain access to them cannot compile.
 type Comm struct {
 	n       int
 	mapping scc.Mapping
+
+	// deadline/plan/watch are the robustness layer: per-op deadline,
+	// fault-injection plan and the watchdog converting wedges into
+	// DeadlockErrors (nil when unarmed).
+	deadline time.Duration
+	plan     *fault.Plan
+	watch    *watchdog
 
 	// domains is the mutable per-tile clock record behind SetTileMHz /
 	// TileMHz / Domains; domMu guards it (it previously borrowed
@@ -45,15 +76,28 @@ type Comm struct {
 	domains scc.FreqDomains
 	domMu   sync.Mutex
 
-	chans   map[pairKey]chan []byte
+	chans map[pairKey]chan []byte
+	// msgSeq counts Send calls per (src, dst) pair - the sequence
+	// numbers fault.Plan message matches use.
+	msgSeq  map[pairKey]int
 	chansMu sync.Mutex
 
 	barrier *barrier
+	// barriers registers every barrier of the program (the global one,
+	// split-coordination barriers, subcomm barriers) so the watchdog can
+	// poison them all when it fires; barMu guards the slice.
+	barMu    sync.Mutex
+	barriers []*barrier
 
 	shmMu   sync.Mutex
 	shm     map[string][]float64
 	splits  map[string]*splitState
 	started time.Time
+
+	// opSeq counts each rank's communication operations (sends,
+	// receives, barriers), the per-rank program order fault.Plan rank
+	// faults key on.
+	opSeq []atomic.Int64
 
 	// statistics
 	msgs  atomic.Uint64
@@ -75,6 +119,12 @@ type UE struct {
 // It returns after every UE finishes, joining any errors. The domains
 // argument fixes the chip clocks the power API reports and manipulates.
 func Run(n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) error) error {
+	return RunWith(Options{}, n, mapping, domains, body)
+}
+
+// RunWith is Run with a deadline watchdog and/or fault-injection plan
+// armed (see Options). With a zero Options it is exactly Run.
+func RunWith(opts Options, n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) error) error {
 	if n <= 0 || n > scc.NumCores {
 		return fmt.Errorf("rcce: cannot run %d UEs on %d cores", n, scc.NumCores)
 	}
@@ -87,20 +137,36 @@ func Run(n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) err
 	if err := mapping.Validate(); err != nil {
 		return err
 	}
+	if opts.Deadline < 0 {
+		return fmt.Errorf("rcce: negative deadline %v", opts.Deadline)
+	}
 	c := &Comm{
-		n:       n,
-		mapping: mapping,
-		domains: domains,
-		chans:   make(map[pairKey]chan []byte),
-		barrier: newBarrier(n),
-		shm:     make(map[string][]float64),
-		started: time.Now(),
+		n:        n,
+		mapping:  mapping,
+		deadline: opts.Deadline,
+		plan:     opts.Fault,
+		domains:  domains,
+		chans:    make(map[pairKey]chan []byte),
+		msgSeq:   make(map[pairKey]int),
+		shm:      make(map[string][]float64),
+		opSeq:    make([]atomic.Int64, n),
+		started:  time.Now(),
+	}
+	c.barrier = c.newBarrier(n)
+	if opts.Deadline > 0 {
+		c.watch = newWatchdog(c, opts.Deadline)
+		// The watchdog is a supervisor, not a worker: it must keep
+		// scanning while every UE goroutine is blocked, which is exactly
+		// the situation a pool-dispatched task could not observe.
+		go c.watch.run() //sccvet:allow bare-goroutine deadline watchdog must run outside the pool it supervises; it only reads the blocked-op table and never touches results
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
 		wg.Add(1)
-		go func(rank int) {
+		// UEs *are* the simulated cores of the RCCE thread model: their
+		// concurrency is the semantics under test, not host fan-out.
+		go func(rank int) { //sccvet:allow bare-goroutine UEs are the RCCE thread model itself, not host work distribution; Run joins them all before returning
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
@@ -111,7 +177,29 @@ func Run(n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) err
 		}(r)
 	}
 	wg.Wait()
+	if c.watch != nil {
+		c.watch.halt()
+	}
 	return errors.Join(errs...)
+}
+
+// newBarrier creates a barrier registered for watchdog poisoning.
+func (c *Comm) newBarrier(n int) *barrier {
+	b := newBarrier(n)
+	c.barMu.Lock()
+	c.barriers = append(c.barriers, b)
+	c.barMu.Unlock()
+	return b
+}
+
+// poisonBarriers aborts every registered barrier with err (watchdog fire).
+func (c *Comm) poisonBarriers(err error) {
+	c.barMu.Lock()
+	bars := append([]*barrier(nil), c.barriers...)
+	c.barMu.Unlock()
+	for _, b := range bars {
+		b.poisonWith(err)
+	}
 }
 
 // Rank returns the UE's rank (0..NumUEs-1).
@@ -131,12 +219,44 @@ func (u *UE) Hops() int { return scc.HopsToMC(u.Core()) }
 // frequency-invariant clock.
 func (u *UE) Wtime() float64 { return time.Since(u.comm.started).Seconds() }
 
+// preOp counts this rank's communication operation and applies any
+// injected rank fault: ActFail returns ErrInjected-wrapped failure,
+// ActWedge parks the rank until the watchdog aborts the program (forever
+// when no deadline is armed, like real hung hardware).
+func (u *UE) preOp(op string, peer int) error {
+	c := u.comm
+	seq := int(c.opSeq[u.rank].Add(1)) - 1
+	switch c.plan.OnRankOp(u.rank, seq) {
+	case fault.ActFail:
+		return fmt.Errorf("rcce: UE %d %s op %d: %w", u.rank, op, seq, fault.ErrInjected)
+	case fault.ActWedge:
+		return c.park(u.rank, "wedged:"+op, peer)
+	}
+	return nil
+}
+
+// park blocks the rank as a wedged op. With a watchdog it returns the
+// DeadlockError once the deadline fires; without one it blocks forever.
+func (c *Comm) park(rank int, op string, peer int) error {
+	if c.watch == nil {
+		select {} // wedged with no watchdog: hung hardware, hung program
+	}
+	c.watch.enter(rank, op, peer)
+	defer c.watch.leave(rank)
+	<-c.watch.aborted
+	return c.watch.err()
+}
+
 // channel returns the rendezvous channel for the ordered pair (src, dst).
 // Channels are unbuffered: a send blocks until the receiver arrives, which
 // is RCCE's synchronous point-to-point semantics.
 func (c *Comm) channel(src, dst int) chan []byte {
 	c.chansMu.Lock()
 	defer c.chansMu.Unlock()
+	return c.channelLocked(src, dst)
+}
+
+func (c *Comm) channelLocked(src, dst int) chan []byte {
 	k := pairKey{src, dst}
 	ch, ok := c.chans[k]
 	if !ok {
@@ -144,6 +264,52 @@ func (c *Comm) channel(src, dst int) chan []byte {
 		c.chans[k] = ch
 	}
 	return ch
+}
+
+// sendChannel returns the pair channel plus this Send's per-pair sequence
+// number (the identity fault.Plan message matches use).
+func (c *Comm) sendChannel(src, dst int) (chan []byte, int) {
+	c.chansMu.Lock()
+	defer c.chansMu.Unlock()
+	k := pairKey{src, dst}
+	seq := c.msgSeq[k]
+	c.msgSeq[k] = seq + 1
+	return c.channelLocked(src, dst), seq
+}
+
+// sendChunk moves one chunk through the pair channel, honouring the
+// watchdog deadline when one is armed.
+func (u *UE) sendChunk(ch chan []byte, chunk []byte, dst int) error {
+	w := u.comm.watch
+	if w == nil {
+		ch <- chunk
+		return nil
+	}
+	w.enter(u.rank, "send", dst)
+	defer w.leave(u.rank)
+	select {
+	case ch <- chunk:
+		return nil
+	case <-w.aborted:
+		return w.err()
+	}
+}
+
+// recvChunk receives one chunk from the pair channel, honouring the
+// watchdog deadline when one is armed.
+func (u *UE) recvChunk(ch chan []byte, src int) ([]byte, error) {
+	w := u.comm.watch
+	if w == nil {
+		return <-ch, nil
+	}
+	w.enter(u.rank, "recv", src)
+	defer w.leave(u.rank)
+	select {
+	case chunk := <-ch:
+		return chunk, nil
+	case <-w.aborted:
+		return nil, w.err()
+	}
 }
 
 // Send transmits data to the UE with the given rank, blocking until the
@@ -156,10 +322,24 @@ func (u *UE) Send(data []byte, dst int) error {
 	if dst == u.rank {
 		return fmt.Errorf("rcce: UE %d sending to itself", u.rank)
 	}
-	ch := u.comm.channel(u.rank, dst)
+	if err := u.preOp("send", dst); err != nil {
+		return err
+	}
+	ch, seq := u.comm.sendChannel(u.rank, dst)
+	if drop, delay := u.comm.plan.OnMessage(u.rank, dst, seq); drop {
+		// The message vanishes after the send "completes": the receiver
+		// stays blocked, which the watchdog converts into a structured
+		// DeadlockError naming it.
+		u.comm.msgs.Add(1)
+		return nil
+	} else if delay > 0 {
+		time.Sleep(delay)
+	}
 	// An empty message still performs one rendezvous.
 	if len(data) == 0 {
-		ch <- nil
+		if err := u.sendChunk(ch, nil, dst); err != nil {
+			return err
+		}
 		u.comm.msgs.Add(1)
 		return nil
 	}
@@ -170,7 +350,9 @@ func (u *UE) Send(data []byte, dst int) error {
 		}
 		chunk := make([]byte, end-off)
 		copy(chunk, data[off:end])
-		ch <- chunk
+		if err := u.sendChunk(ch, chunk, dst); err != nil {
+			return err
+		}
 	}
 	u.comm.msgs.Add(1)
 	u.comm.bytes.Add(uint64(len(data)))
@@ -186,14 +368,20 @@ func (u *UE) Recv(buf []byte, src int) error {
 	if src == u.rank {
 		return fmt.Errorf("rcce: UE %d receiving from itself", u.rank)
 	}
+	if err := u.preOp("recv", src); err != nil {
+		return err
+	}
 	ch := u.comm.channel(src, u.rank)
 	if len(buf) == 0 {
-		<-ch
-		return nil
+		_, err := u.recvChunk(ch, src)
+		return err
 	}
 	off := 0
 	for off < len(buf) {
-		chunk := <-ch
+		chunk, err := u.recvChunk(ch, src)
+		if err != nil {
+			return err
+		}
 		if len(chunk) > len(buf)-off {
 			return fmt.Errorf("rcce: UE %d received %d-byte chunk into %d-byte window: size mismatch with sender %d",
 				u.rank, len(chunk), len(buf)-off, src)

@@ -46,7 +46,7 @@ func (u *UE) Split(tag string, color, key int) (*SubComm, error) {
 	if !ok {
 		st = &splitState{
 			entries: map[int][2]int{},
-			done:    newBarrier(c.n),
+			done:    c.newBarrier(c.n),
 		}
 		c.splits[tag] = st
 	}
@@ -61,7 +61,7 @@ func (u *UE) Split(tag string, color, key int) (*SubComm, error) {
 	st.mu.Unlock()
 
 	// Wait for every UE to contribute, then (once) build the groups.
-	st.done.wait(func() {
+	err := u.waitWatched(st.done, "split", func() {
 		st.groups = map[int][]int{}
 		st.bars = map[int]*barrier{}
 		for rank, ck := range st.entries {
@@ -79,9 +79,12 @@ func (u *UE) Split(tag string, color, key int) (*SubComm, error) {
 				}
 				return ranks[a] < ranks[b]
 			})
-			st.bars[color] = newBarrier(len(ranks))
+			st.bars[color] = c.newBarrier(len(ranks))
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	color = st.entries[u.rank][0]
 	if color < 0 {
@@ -106,8 +109,9 @@ func (s *SubComm) Size() int { return len(s.members) }
 // GlobalRank translates a group rank to the program-wide rank.
 func (s *SubComm) GlobalRank(local int) int { return s.members[local] }
 
-// Barrier blocks until every group member arrives.
-func (s *SubComm) Barrier() { s.barrier.wait(nil) }
+// Barrier blocks until every group member arrives. It returns non-nil only
+// when the robustness layer aborts the program.
+func (s *SubComm) Barrier() error { return s.u.barrierOn(s.barrier, "subcomm-barrier", nil) }
 
 // Send transmits to a group rank.
 func (s *SubComm) Send(data []byte, dstLocal int) error {

@@ -1,0 +1,174 @@
+package rcce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BlockedOp describes one rank's communication operation that was still
+// blocked when the deadline watchdog fired.
+type BlockedOp struct {
+	// Rank is the blocked UE and Op the operation it was inside
+	// ("send", "recv", "barrier", "wedged:send", ...).
+	Rank int
+	Op   string
+	// Peer is the counterpart rank of a point-to-point op; -1 for
+	// barriers and collectives with no single peer.
+	Peer int
+	// For is how long the op had been blocked when the watchdog fired.
+	For time.Duration
+}
+
+func (b BlockedOp) String() string {
+	if b.Peer >= 0 {
+		return fmt.Sprintf("rank %d %s(peer %d) blocked %v", b.Rank, b.Op, b.Peer, b.For.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("rank %d %s blocked %v", b.Rank, b.Op, b.For.Round(time.Millisecond))
+}
+
+// DeadlockError is the structured error the watchdog converts a wedged
+// program into: every operation still blocked past the deadline, named by
+// rank and op, so a hung sweep reports *who* stopped the run instead of
+// hanging it.
+type DeadlockError struct {
+	// Deadline is the per-operation bound that was exceeded.
+	Deadline time.Duration
+	// Blocked lists the stuck operations, sorted by rank.
+	Blocked []BlockedOp
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rcce: deadlock: %d op(s) blocked past the %v deadline", len(e.Blocked), e.Deadline)
+	for _, op := range e.Blocked {
+		b.WriteString("; ")
+		b.WriteString(op.String())
+	}
+	return b.String()
+}
+
+// BlockedRanks returns the sorted ranks named by the error.
+func (e *DeadlockError) BlockedRanks() []int {
+	ranks := make([]int, len(e.Blocked))
+	for i, op := range e.Blocked {
+		ranks[i] = op.Rank
+	}
+	return ranks
+}
+
+// watchdog observes the program's blocked communication operations and
+// aborts the whole Comm when any single op stays blocked past the
+// deadline. Channel waiters observe the abort by selecting on `aborted`;
+// barrier waiters are woken by poisoning every registered barrier.
+type watchdog struct {
+	deadline time.Duration
+	comm     *Comm
+
+	mu      sync.Mutex
+	blocked map[int]*blockedEntry // rank -> the op it is inside
+	derr    *DeadlockError
+
+	aborted chan struct{} // closed exactly once, when the deadline fires
+	stop    chan struct{} // closed by halt() when Run finishes first
+}
+
+type blockedEntry struct {
+	op    string
+	peer  int
+	since time.Time
+}
+
+func newWatchdog(c *Comm, deadline time.Duration) *watchdog {
+	return &watchdog{
+		deadline: deadline,
+		comm:     c,
+		blocked:  map[int]*blockedEntry{},
+		aborted:  make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+}
+
+// enter registers the rank as blocked inside op. A rank runs one
+// goroutine, so it has at most one blocked op at a time; re-entering
+// (e.g. per chunk of a long message) refreshes the block timestamp, which
+// makes the deadline a per-rendezvous bound rather than a per-message one.
+func (w *watchdog) enter(rank int, op string, peer int) {
+	w.mu.Lock()
+	w.blocked[rank] = &blockedEntry{op: op, peer: peer, since: time.Now()}
+	w.mu.Unlock()
+}
+
+// leave clears the rank's blocked record.
+func (w *watchdog) leave(rank int) {
+	w.mu.Lock()
+	delete(w.blocked, rank)
+	w.mu.Unlock()
+}
+
+// err returns the DeadlockError after the watchdog fired (nil before).
+func (w *watchdog) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.derr == nil {
+		return nil
+	}
+	return w.derr
+}
+
+// halt stops the scan loop; called when Run's UEs all returned.
+func (w *watchdog) halt() { close(w.stop) }
+
+// run is the scan loop. It polls at a fraction of the deadline so a wedge
+// is detected within ~1.25x the configured bound.
+func (w *watchdog) run() {
+	tick := w.deadline / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if w.scan() {
+				return
+			}
+		}
+	}
+}
+
+// scan fires the abort if any op has been blocked past the deadline,
+// returning true when the watchdog's job is done.
+func (w *watchdog) scan() bool {
+	now := time.Now()
+	w.mu.Lock()
+	overdue := false
+	for _, e := range w.blocked {
+		if now.Sub(e.since) >= w.deadline {
+			overdue = true
+			break
+		}
+	}
+	if !overdue {
+		w.mu.Unlock()
+		return false
+	}
+	derr := &DeadlockError{Deadline: w.deadline}
+	for rank, e := range w.blocked {
+		derr.Blocked = append(derr.Blocked, BlockedOp{Rank: rank, Op: e.op, Peer: e.peer, For: now.Sub(e.since)})
+	}
+	sort.Slice(derr.Blocked, func(i, j int) bool { return derr.Blocked[i].Rank < derr.Blocked[j].Rank })
+	w.derr = derr
+	w.mu.Unlock()
+
+	// Wake every waiter: channel ops select on aborted, barrier waiters
+	// are poisoned and broadcast.
+	close(w.aborted)
+	w.comm.poisonBarriers(derr)
+	return true
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sparse"
+)
+
+func ctxTestMatrix() *sparse.CSR {
+	return sparse.Generate(sparse.Gen{
+		Name: "ctx-test", Class: sparse.PatternStencil3D, N: 512, NNZTarget: 8192, Seed: 42,
+	})
+}
+
+func TestRunSpMVCancelledContext(t *testing.T) {
+	a := ctxTestMatrix()
+	m := NewMachine(scc.Conf0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunSpMV(a, nil, Options{UEs: 8, Ctx: ctx}); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunSpMVNilContextMatchesExplicitBackground(t *testing.T) {
+	a := ctxTestMatrix()
+	m := NewMachine(scc.Conf0)
+	base, err := m.RunSpMV(a, nil, Options{UEs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := m.RunSpMV(a, nil, Options{UEs: 8, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TimeSec != withCtx.TimeSec || base.GFLOPS != withCtx.GFLOPS {
+		t.Fatalf("explicit Background context changed results: %v vs %v", base.TimeSec, withCtx.TimeSec)
+	}
+	for i := range base.Y {
+		if base.Y[i] != withCtx.Y[i] {
+			t.Fatalf("Y[%d] differs under explicit context", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -135,6 +136,20 @@ type Options struct {
 	// entries (internal/obs). Observability is write-only: a nil or
 	// non-nil span never changes any Result.
 	Span *obs.Span
+	// Ctx bounds the run: cancellation stops the engine from starting
+	// further per-UE walks and aborts between a walk's warm-up and timed
+	// passes; the run then returns the context's error and no Result.
+	// nil means Background (never cancelled), under which results are
+	// bit-identical to the pre-context engine.
+	Ctx context.Context
+}
+
+// ctx resolves the context knob (nil means Background).
+func (o *Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o *Options) normalize() error {

@@ -70,6 +70,10 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
+	ctx := opts.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, mj := range machines {
 		if err := mj.Domains.Validate(); err != nil {
 			return nil, err
@@ -105,7 +109,7 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 	y := make([]float64, a.Rows)
 	lay := layoutFor(a)
 
-	uePool.ForEach(opts.UEs, opts.workers(), func(rank int) {
+	poolErr := uePool.ForEachCtx(ctx, opts.UEs, opts.workers(), func(rank int) {
 		start := time.Now() //sccvet:allow nondeterminism write-only span instrumentation; never feeds simulated results
 		core := opts.Mapping[rank]
 		crs := lead.simCoreSweep(machines, a, x, y, parts[rank], core, opts, lay)
@@ -115,6 +119,10 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 		}
 		opts.Span.Record("ue-walk", time.Since(start)) //sccvet:allow nondeterminism write-only span instrumentation; never feeds simulated results
 	})
+	if poolErr != nil {
+		// Cancelled mid-sweep: partial per-core results are discarded.
+		return nil, poolErr
+	}
 
 	// Every Result owns its product vector: the engine's scratch y is
 	// never aliased out, so the sweep and single-run paths return
@@ -235,6 +243,12 @@ func (m *Machine) simCoreSweep(machines []*Machine, a *sparse.CSR, x, y []float6
 	var compute float64
 	var nnz int
 	for pass := 0; pass < passes; pass++ {
+		// Cancellation granularity is the pass boundary: a cancelled walk
+		// stops before its timed pass and the (discarded) zero result is
+		// never observable because the pool propagates the context error.
+		if opts.ctx().Err() != nil {
+			return make([]CoreResult, len(machines))
+		}
 		timed := pass == passes-1
 		if timed {
 			h.ResetStats()

@@ -38,6 +38,10 @@ func (e TestbedEntry) WorkingSetMB() float64 {
 	return float64(e.WorkingSetBytes()) / (1 << 20)
 }
 
+// Seed is the deterministic generator seed of the entry's synthetic
+// reconstruction - the stable identity fault injection keys on.
+func (e TestbedEntry) Seed() int64 { return int64(1000 + e.ID) }
+
 // Generate builds the synthetic reconstruction of the entry at scale 1.
 func (e TestbedEntry) Generate() *CSR { return e.GenerateScaled(1) }
 
@@ -60,7 +64,7 @@ func (e TestbedEntry) GenerateScaled(f float64) *CSR {
 		Class:     e.Class,
 		N:         n,
 		NNZTarget: nnz,
-		Seed:      int64(1000 + e.ID), // deterministic per entry
+		Seed:      e.Seed(), // deterministic per entry
 	})
 	return m
 }

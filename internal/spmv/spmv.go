@@ -84,7 +84,9 @@ func RCCE(a *sparse.CSR, x []float64, ues int, mapping scc.Mapping) (*RCCEResult
 		if u.Rank() == 0 {
 			copy(shx, x)
 		}
-		u.Barrier()
+		if err := u.Barrier(); err != nil {
+			return err
+		}
 
 		rows := parts[u.Rank()]
 		part := make([]float64, len(rows))
