@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race chaos bench perf metrics-smoke sccvet fmt-check ci clean
+.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke sccvet fmt-check ci clean
 
 all: build
 
@@ -49,11 +49,19 @@ chaos:
 	$(GO) test -race -timeout 10m ./internal/fault ./internal/obs
 
 # ci is the full pre-merge pipeline: the check gate, the race detector
-# over the host-concurrent packages, and the chaos suite.
-ci: check race chaos
+# over the host-concurrent packages, the chaos suite, and the bench
+# smoke (which exercises all three engine legs end to end).
+ci: check race chaos bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-smoke drives the three-leg bench harness (serial reference,
+# parallel exact, analytic pricing) on a tiny geometry sweep and writes
+# BENCH_ablation-l2geom.json to /tmp. It proves the trace-once/price-many
+# fast path end to end without taking real-bench time.
+bench-smoke:
+	$(GO) run ./cmd/sccsim -exp bench -benchexp ablation-l2geom -scale 0.05 -stride 16 -outdir /tmp
 
 # perf times the serial vs parallel engine on a full fig9 sweep and writes
 # the BENCH_fig9.json record.

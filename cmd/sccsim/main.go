@@ -6,17 +6,21 @@
 //	sccsim -list
 //	sccsim -exp fig5 [-scale 0.25] [-stride 1] [-max 0] [-csv]
 //	sccsim -exp all  [-scale 0.25]
-//	sccsim -exp bench [-benchexp fig9] [-json]
+//	sccsim -exp bench [-benchexp fig6,fig8,ablation-l2geom] [-json]
 //
 // -scale 1.0 reproduces the paper's matrix sizes (slow: the full testbed
 // holds ~95M nonzeros); the default quarter scale preserves every
 // qualitative relationship and finishes in minutes.
 //
 // The engine is host-parallel and deterministic: -parallel 1 forces the
-// serial reference path with bit-identical output. -exp bench times the
-// serial and parallel engines on one experiment and writes a
-// machine-readable BENCH_<exp>.json perf record. -cpuprofile/-memprofile
-// capture pprof profiles of whatever the invocation runs.
+// serial reference path with bit-identical output. -pricing selects the
+// cache-pricing backend (exact per-access walks, the reuse-distance
+// analytic fast path, or auto, which goes analytic only where provably
+// bit-identical; see internal/sim/pricing.go). -exp bench times the
+// serial, parallel-exact and analytic engines on each listed experiment
+// and writes a machine-readable BENCH_<exp>.json perf record per id.
+// -cpuprofile/-memprofile capture pprof profiles of whatever the
+// invocation runs.
 //
 // Robustness: SIGINT/SIGTERM and the -deadline flag cancel the run's
 // context, which stops the engine at its next matrix/cell/pass boundary;
@@ -48,6 +52,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/stats"
 )
@@ -73,7 +78,8 @@ func run() int {
 		cacheMB    = flag.Int64("cachemb", experiments.DefaultMatrixCacheBytes>>20, "generated-matrix cache budget in MiB (0 disables memoisation)")
 		deadline   = flag.Duration("deadline", 0, "cancel the whole run after this duration (0 = none)")
 		failFast   = flag.Bool("failfast", false, "abort a sweep at the first failing cell instead of isolating it into an error row")
-		benchExp   = flag.String("benchexp", "fig9", "experiment the bench harness times (with -exp bench)")
+		pricing    = flag.String("pricing", "auto", "cache-pricing backend: exact (per-access walk), analytic (reuse-distance fast path), auto (analytic only where provably identical)")
+		benchExp   = flag.String("benchexp", "fig9", "comma-separated experiment ids the bench harness times (with -exp bench), e.g. fig6,fig8,ablation-l2geom")
 		jsonOut    = flag.Bool("json", false, "with -exp bench: also print the perf record as JSON on stdout")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -164,6 +170,11 @@ func run() int {
 		}
 	}()
 
+	pricingMode, err := sim.ParsePricing(*pricing)
+	if err != nil {
+		errf("%v", err)
+		return code
+	}
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Stride:      *stride,
@@ -173,11 +184,19 @@ func run() int {
 		MatrixCache: sparse.NewMatrixCache(*cacheMB << 20),
 		Ctx:         ctx,
 		FailFast:    *failFast,
+		Pricing:     pricingMode,
 	}
 
 	if *expID == "bench" {
-		if err := runBench(cfg, *benchExp, *outDir, *jsonOut); err != nil {
-			errf("bench: %v", err)
+		for _, id := range strings.Split(*benchExp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if err := runBench(cfg, id, *outDir, *jsonOut); err != nil {
+				errf("bench %s: %v", id, err)
+				return code
+			}
 		}
 		return code
 	}
@@ -266,6 +285,9 @@ func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) error {
 		rec.Experiment, rec.Scale, rec.Matrices, rec.GoMaxProcs)
 	fmt.Printf("serial engine:   %8.2fs\n", rec.SerialSec)
 	fmt.Printf("parallel engine: %8.2fs  (speedup %.2fx)\n", rec.ParallelSec, rec.Speedup)
+	fmt.Printf("analytic pricing:%8.2fs  (speedup %.2fx vs parallel; %d cells analytic, %d exact; profiles %d built, %d reused; output identical: %t)\n",
+		rec.AnalyticSec, rec.AnalyticSpeedup, rec.CellsAnalytic, rec.CellsExact,
+		rec.ProfilesBuilt, rec.ProfilesReused, rec.OutputIdentical)
 	fmt.Printf("throughput: %.1f simulated MFLOP/s, %.2f matrices/s (cache: %d hits, %d misses, %d evictions)\n",
 		1e3*rec.SimulatedGFLOPS, rec.MatricesPerSec, rec.CacheHits, rec.CacheMisses, rec.CacheEvictions)
 

@@ -11,6 +11,33 @@ import (
 	"math/bits"
 )
 
+// Replacement selects the victim-selection policy of a cache level.
+type Replacement int
+
+const (
+	// TreePLRU is the SCC's tree pseudo-LRU policy (the default; the
+	// zero value keeps existing configurations unchanged).
+	TreePLRU Replacement = iota
+	// TrueLRU evicts the genuinely least-recently-used way. It is not
+	// what the P54C implements, but it is the policy under which a
+	// stack-distance (reuse-distance) model predicts hits exactly, so it
+	// serves as the oracle for the analytic pricing fast path
+	// (internal/sim, internal/trace).
+	TrueLRU
+)
+
+// String implements fmt.Stringer.
+func (r Replacement) String() string {
+	switch r {
+	case TreePLRU:
+		return "plru"
+	case TrueLRU:
+		return "lru"
+	default:
+		return "invalid"
+	}
+}
+
 // Config describes one cache level.
 type Config struct {
 	// SizeBytes is the total capacity; must be Ways*LineBytes*Sets with
@@ -23,6 +50,9 @@ type Config struct {
 	// WriteBack selects write-back (true, SCC L2) or write-through
 	// (false, modelling the P54C L1's default behaviour).
 	WriteBack bool
+	// Replacement selects the victim policy: TreePLRU (the SCC default)
+	// or TrueLRU (the stack-algorithm oracle for analytic pricing).
+	Replacement Replacement
 }
 
 // Validate checks the configuration for internal consistency.
@@ -40,8 +70,11 @@ func (c Config) Validate() error {
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache: set count %d not a power of two", sets)
 	}
-	if c.Ways&(c.Ways-1) != 0 {
+	if c.Replacement == TreePLRU && c.Ways&(c.Ways-1) != 0 {
 		return fmt.Errorf("cache: associativity %d not a power of two (tree PLRU requires it)", c.Ways)
+	}
+	if c.Replacement != TreePLRU && c.Replacement != TrueLRU {
+		return fmt.Errorf("cache: unknown replacement policy %d", c.Replacement)
 	}
 	return nil
 }
@@ -92,6 +125,8 @@ type Cache struct {
 	valid     []bool
 	dirty     []bool
 	plru      []uint32 // one tree per set, bit-packed (ways-1 bits used)
+	stamp     []uint64 // per-line recency stamps (TrueLRU only)
+	tick      uint64   // monotonic access clock (TrueLRU only)
 	ways      int
 	treeDepth int
 	stats     Stats
@@ -105,7 +140,7 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	sets := cfg.Sets()
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
 		setShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
@@ -117,6 +152,10 @@ func New(cfg Config) *Cache {
 		ways:      cfg.Ways,
 		treeDepth: bits.TrailingZeros(uint(cfg.Ways)),
 	}
+	if cfg.Replacement == TrueLRU {
+		c.stamp = make([]uint64, sets*cfg.Ways)
+	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -182,7 +221,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 	var r Result
 	if victim < 0 {
-		victim = c.plruVictim(set)
+		victim = c.victim(set)
 		c.stats.Evictions++
 		if c.dirty[base+victim] {
 			c.stats.WriteBacks++
@@ -244,9 +283,31 @@ func (c *Cache) LinesValid() int {
 	return n
 }
 
-// touch updates the PLRU tree so that way w becomes most recently used:
-// every tree node on the path to w is pointed away from w.
+// victim picks the way to evict from a full set under the configured
+// replacement policy.
+func (c *Cache) victim(set int) int {
+	if c.cfg.Replacement == TrueLRU {
+		base := set * c.ways
+		v, best := 0, c.stamp[base]
+		for w := 1; w < c.ways; w++ {
+			if c.stamp[base+w] < best {
+				best, v = c.stamp[base+w], w
+			}
+		}
+		return v
+	}
+	return c.plruVictim(set)
+}
+
+// touch makes way w the most recently used of its set: a recency stamp
+// under TrueLRU, or pointing every PLRU tree node on the path to w away
+// from it.
 func (c *Cache) touch(set, w int) {
+	if c.cfg.Replacement == TrueLRU {
+		c.tick++
+		c.stamp[set*c.ways+w] = c.tick
+		return
+	}
 	if c.ways == 1 {
 		return
 	}

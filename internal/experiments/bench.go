@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/stats"
 )
 
 // BenchRecord is the machine-readable perf record `sccsim -exp bench`
@@ -25,12 +27,29 @@ type BenchRecord struct {
 	Parallelism int `json:"parallelism"`
 	// SerialSec is the wall clock of the seed-equivalent reference leg
 	// (Sequential: no pools, no shared sweep walks, zero-budget matrix
-	// cache); ParallelSec the wall clock of the configured engine
-	// (worker pools + matrix cache + shared-sweep walks). Speedup is
-	// their ratio.
+	// cache); ParallelSec the wall clock of the configured engine with
+	// exact pricing (worker pools + matrix cache + shared-sweep walks).
+	// Speedup is their ratio.
 	SerialSec   float64 `json:"serial_sec"`
 	ParallelSec float64 `json:"parallel_sec"`
 	Speedup     float64 `json:"speedup"`
+	// AnalyticSec is the wall clock of the configured engine with the
+	// reuse-distance analytic pricing path enabled (PricingAuto: cells go
+	// analytic only where provably bit-identical to the exact walk);
+	// AnalyticSpeedup is ParallelSec/AnalyticSec - the fast path's gain at
+	// equal engine parallelism. OutputIdentical records whether the
+	// analytic leg rendered byte-identical tables to the exact parallel
+	// leg (it must, wherever auto selects the analytic path).
+	AnalyticSec     float64 `json:"analytic_sec"`
+	AnalyticSpeedup float64 `json:"analytic_speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+	// Trace-once, price-many effectiveness during the analytic leg (see
+	// internal/sim/pricing.go): stream profiles built vs reused from the
+	// store, and sweep cells priced by the analytic vs exact backend.
+	ProfilesBuilt  uint64 `json:"profiles_built"`
+	ProfilesReused uint64 `json:"profiles_reused"`
+	CellsAnalytic  uint64 `json:"cells_analytic"`
+	CellsExact     uint64 `json:"cells_exact"`
 	// Matrices is the subset size; MatrixVisits counts matrix fetches
 	// the parallel leg performed (visits/sec measures harness
 	// throughput including cache effects).
@@ -55,10 +74,21 @@ type BenchRecord struct {
 	UnixTime                  int64  `json:"unix_time"`
 }
 
-// Bench measures one experiment twice - once on the serial reference
-// engine and once on the configured parallel engine - and returns the perf
-// record. The two legs produce identical tables (the determinism tests
-// prove it); only the wall clock differs.
+// renderTables concatenates a run's rendered tables for output comparison.
+func renderTables(tables []*stats.Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bench measures one experiment three times - on the serial reference
+// engine, on the configured parallel engine with exact pricing, and on the
+// same engine with the analytic pricing fast path enabled - and returns the
+// perf record. All legs produce identical tables (the determinism tests and
+// the analytic oracle tests prove it); only the wall clock differs.
 func Bench(cfg Config, id string) (*BenchRecord, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -68,10 +98,10 @@ func Bench(cfg Config, id string) (*BenchRecord, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
 
-	run := func(c Config) (float64, error) {
+	run := func(c Config) (float64, string, error) {
 		start := time.Now() //sccvet:allow nondeterminism Bench measures host wall time by design; the simulated tables stay deterministic
-		_, err := e.Run(c)
-		return time.Since(start).Seconds(), err //sccvet:allow nondeterminism Bench measures host wall time by design; the simulated tables stay deterministic
+		tables, err := e.Run(c)
+		return time.Since(start).Seconds(), renderTables(tables), err //sccvet:allow nondeterminism Bench measures host wall time by design; the simulated tables stay deterministic
 	}
 
 	// Seed-equivalent reference leg: single-threaded, no shared sweep
@@ -80,12 +110,13 @@ func Bench(cfg Config, id string) (*BenchRecord, error) {
 	serialCfg.Sequential = true
 	serialCfg.Parallelism = 1
 	serialCfg.MatrixCache = sparse.NewMatrixCache(0)
-	serialSec, err := run(serialCfg)
+	serialSec, _, err := run(serialCfg)
 	if err != nil {
 		return nil, err
 	}
 
 	parCfg := cfg
+	parCfg.Pricing = sim.PricingExact
 	if parCfg.MatrixCache == nil {
 		// A private cache isolates the measured leg from earlier runs in
 		// the same process.
@@ -93,13 +124,26 @@ func Bench(cfg Config, id string) (*BenchRecord, error) {
 	}
 	cacheBefore := parCfg.MatrixCache.Stats()
 	flopsBefore := sim.SimulatedFLOPs()
-	parSec, err := run(parCfg)
+	parSec, parOut, err := run(parCfg)
 	if err != nil {
 		return nil, err
 	}
 	cacheAfter := parCfg.MatrixCache.Stats()
 	gflop := float64(sim.SimulatedFLOPs()-flopsBefore) / 1e9
 	visits := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Misses - cacheBefore.Misses)
+
+	// Analytic leg: same engine, pricing on auto so cells go analytic
+	// exactly where that is provably bit-identical. A fresh matrix cache
+	// keeps its profile store private to the measured leg.
+	anCfg := cfg
+	anCfg.Pricing = sim.PricingAuto
+	anCfg.MatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+	builtB, reusedB, analyticB, exactB := sim.PricingCounters()
+	anSec, anOut, err := run(anCfg)
+	if err != nil {
+		return nil, err
+	}
+	builtA, reusedA, analyticA, exactA := sim.PricingCounters()
 
 	rec := &BenchRecord{
 		Experiment:                id,
@@ -110,6 +154,12 @@ func Bench(cfg Config, id string) (*BenchRecord, error) {
 		Parallelism:               cfg.Parallelism,
 		SerialSec:                 serialSec,
 		ParallelSec:               parSec,
+		AnalyticSec:               anSec,
+		OutputIdentical:           anOut == parOut,
+		ProfilesBuilt:             builtA - builtB,
+		ProfilesReused:            reusedA - reusedB,
+		CellsAnalytic:             analyticA - analyticB,
+		CellsExact:                exactA - exactB,
 		Matrices:                  cfg.MatrixCount(),
 		MatrixVisits:              visits,
 		SimulatedGFLOP:            gflop,
@@ -124,6 +174,9 @@ func Bench(cfg Config, id string) (*BenchRecord, error) {
 		rec.Speedup = serialSec / parSec
 		rec.MatricesPerSec = float64(visits) / parSec
 		rec.SimulatedGFLOPS = gflop / parSec
+	}
+	if anSec > 0 {
+		rec.AnalyticSpeedup = parSec / anSec
 	}
 	return rec, nil
 }

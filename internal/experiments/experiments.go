@@ -98,6 +98,14 @@ type Config struct {
 	// Fault is the deterministic fault-injection plan the chaos tests
 	// drive (nil injects nothing; see internal/fault).
 	Fault *fault.Plan
+	// Pricing selects the simulator's cache-pricing backend for every
+	// cell that does not pin its own: exact per-access walks, the
+	// reuse-distance analytic fast path, or (the default) automatic
+	// selection that only goes analytic when provably bit-identical to
+	// the exact walk (see internal/sim/pricing.go). Sequential runs
+	// always price exact - they are the seed-equivalent reference - so
+	// Sequential with PricingAnalytic is rejected.
+	Pricing sim.Pricing
 	// Errors collects isolated per-unit failures. nil (the default for a
 	// direct Run call) keeps the historical abort-on-first-error
 	// semantics; Experiment.Execute attaches a log and renders it as an
@@ -148,6 +156,9 @@ func (c Config) validate() error {
 		// serial pool - because the bench harness pins both explicitly.
 		return fmt.Errorf("experiments: Sequential with Parallelism %d: the sequential engine always runs serially; drop one of the two", c.Parallelism)
 	}
+	if c.Sequential && c.Pricing == sim.PricingAnalytic {
+		return fmt.Errorf("experiments: Sequential with analytic pricing: the sequential engine is the exact reference; drop one of the two")
+	}
 	return nil
 }
 
@@ -191,15 +202,26 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// simOptions threads the engine parallelism into a cell's sim options
-// unless the cell pinned its own.
+// simOptions threads the engine parallelism and pricing backend into a
+// cell's sim options unless the cell pinned its own.
 func (c Config) simOptions(o sim.Options) sim.Options {
 	if c.Sequential {
+		// Seed-equivalent reference: serial, exact, no profile store.
 		o.Parallelism = 1
+		o.Pricing = sim.PricingExact
+		o.Profiles = nil
 		return o
 	}
 	if o.Parallelism == 0 {
 		o.Parallelism = c.Parallelism
+	}
+	if o.Pricing == sim.PricingAuto {
+		o.Pricing = c.Pricing
+	}
+	if o.Profiles == nil {
+		// Profiles live beside the matrices they were traced from, under
+		// the same byte budget (see sparse.MatrixCache).
+		o.Profiles = c.matrixCache()
 	}
 	return o
 }

@@ -46,8 +46,8 @@ func cell(t *testing.T, tb *stats.Table, row, col int) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ablation-cacheblock", "ablation-formats", "ablation-partition", "ablation-prefetch", "ablation-reorder",
-		"ablation-warmup", "analysis-distributed", "analysis-locality", "analysis-powercap", "analysis-scaling",
+		"ablation-cacheblock", "ablation-formats", "ablation-l2geom", "ablation-partition", "ablation-prefetch",
+		"ablation-reorder", "ablation-warmup", "analysis-distributed", "analysis-locality", "analysis-powercap", "analysis-scaling",
 		"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"latency", "table1",
 	}

@@ -85,13 +85,31 @@ type Machine struct {
 	// Prefetch enables the next-line prefetcher in every core's cache
 	// hierarchy (a software-prefetch what-if; the stock SCC has none).
 	Prefetch bool
+	// L2Geom overrides the per-core L2 geometry (nil keeps the SCC's
+	// 256 KB 4-way write-back L2). It only matters when WithL2 is set and
+	// is how the cache-geometry ablations sweep size, associativity and
+	// replacement policy; the line size must stay scc.CacheLineBytes
+	// because the engine's stream batching is fixed at that granularity.
+	L2Geom *cache.Config
 	// Params are the core timing coefficients.
 	Params Params
 }
 
+// l2Config resolves the effective L2 geometry (SCCL2 unless overridden).
+func (m *Machine) l2Config() cache.Config {
+	if m.L2Geom != nil {
+		return *m.L2Geom
+	}
+	return cache.SCCL2()
+}
+
 // newHierarchy builds one core's cache hierarchy per the machine options.
 func (m *Machine) newHierarchy() *cache.Hierarchy {
-	h := cache.NewSCCHierarchy(m.WithL2)
+	var l2 *cache.Cache
+	if m.WithL2 {
+		l2 = cache.New(m.l2Config())
+	}
+	h := cache.NewHierarchy(cache.New(cache.SCCL1()), l2)
 	h.NextLinePrefetch = m.Prefetch
 	return h
 }
@@ -142,6 +160,17 @@ type Options struct {
 	// nil means Background (never cancelled), under which results are
 	// bit-identical to the pre-context engine.
 	Ctx context.Context
+	// Pricing selects the cache-pricing backend: the exact per-access
+	// hierarchy walk, the reuse-distance analytic fast path, or (the
+	// default) automatic selection that only goes analytic when the
+	// result is provably identical to the exact walk (see pricing.go).
+	Pricing Pricing
+	// Profiles is the store analytic pricing persists stream profiles in
+	// (the experiments layer passes its matrix cache, so profiles live
+	// beside the matrices they were traced from under one byte budget).
+	// nil disables persistence: auto mode then stays exact, while forced
+	// analytic builds a throwaway profile per call.
+	Profiles *sparse.MatrixCache
 }
 
 // ctx resolves the context knob (nil means Background).
@@ -171,6 +200,9 @@ func (o *Options) normalize() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("sim: negative parallelism %d", o.Parallelism)
+	}
+	if o.Pricing != PricingAuto && o.Pricing != PricingExact && o.Pricing != PricingAnalytic {
+		return fmt.Errorf("sim: unknown pricing mode %d", o.Pricing)
 	}
 	return nil
 }

@@ -63,7 +63,8 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 	}
 	lead := machines[0]
 	for _, mj := range machines[1:] {
-		if mj.WithL2 != lead.WithL2 || mj.Prefetch != lead.Prefetch || mj.Params != lead.Params {
+		if mj.WithL2 != lead.WithL2 || mj.Prefetch != lead.Prefetch || mj.Params != lead.Params ||
+			(lead.WithL2 && mj.l2Config() != lead.l2Config()) {
 			return nil, fmt.Errorf("sim: sweep machines must share cache geometry and timing params")
 		}
 	}
@@ -79,6 +80,7 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 			return nil, err
 		}
 	}
+	xProvided := x != nil
 	if x == nil {
 		x = make([]float64, a.Cols)
 		for i := range x {
@@ -87,6 +89,10 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 	}
 	if len(x) != a.Cols {
 		return nil, fmt.Errorf("sim: len(x)=%d, matrix has %d columns", len(x), a.Cols)
+	}
+	analytic, err := lead.usesAnalytic(&opts, xProvided)
+	if err != nil {
+		return nil, err
 	}
 
 	parts, err := partition.Split(opts.Scheme, a, opts.UEs)
@@ -109,19 +115,26 @@ func RunSpMVSweep(machines []*Machine, a *sparse.CSR, x []float64, opts Options)
 	y := make([]float64, a.Rows)
 	lay := layoutFor(a)
 
-	poolErr := uePool.ForEachCtx(ctx, opts.UEs, opts.workers(), func(rank int) {
-		start := time.Now() //sccvet:allow nondeterminism write-only span instrumentation; never feeds simulated results
-		core := opts.Mapping[rank]
-		crs := lead.simCoreSweep(machines, a, x, y, parts[rank], core, opts, lay)
-		for j := range crs {
-			crs[j].Rank = rank
-			results[j].PerCore[rank] = crs[j]
+	if analytic {
+		if err := analyticSweep(machines, a, x, y, parts, opts, lay, results); err != nil {
+			return nil, err
 		}
-		opts.Span.Record("ue-walk", time.Since(start)) //sccvet:allow nondeterminism write-only span instrumentation; never feeds simulated results
-	})
-	if poolErr != nil {
-		// Cancelled mid-sweep: partial per-core results are discarded.
-		return nil, poolErr
+	} else {
+		cellsExact.Add(1)
+		poolErr := uePool.ForEachCtx(ctx, opts.UEs, opts.workers(), func(rank int) {
+			start := time.Now() //sccvet:allow nondeterminism write-only span instrumentation; never feeds simulated results
+			core := opts.Mapping[rank]
+			crs := lead.simCoreSweep(machines, a, x, y, parts[rank], core, opts, lay)
+			for j := range crs {
+				crs[j].Rank = rank
+				results[j].PerCore[rank] = crs[j]
+			}
+			opts.Span.Record("ue-walk", time.Since(start)) //sccvet:allow nondeterminism write-only span instrumentation; never feeds simulated results
+		})
+		if poolErr != nil {
+			// Cancelled mid-sweep: partial per-core results are discarded.
+			return nil, poolErr
+		}
 	}
 
 	// Every Result owns its product vector: the engine's scratch y is
@@ -193,31 +206,25 @@ func (s *stream) crossing(addr uint64) bool {
 	return true
 }
 
-// prober drives one core's cache hierarchy and prices every line-crossing
-// access, accumulating stall cycles separately per swept clock
-// configuration (stall[j] uses memLat[j]). Keeping the accumulation as a
-// per-configuration running sum preserves the exact floating-point
-// addition order of a single-configuration run.
-type prober struct {
-	h      *cache.Hierarchy
-	l2hit  float64
-	memLat []float64
-	stall  []float64
+// prober receives every line-crossing access of a pass. runPass is generic
+// over it (and monomorphised per implementation, so the exact walk pays no
+// interface-dispatch cost): the exact engine plugs in the full cache
+// hierarchy (hierProber), the analytic engine the L1 + multi-geometry
+// profiler (profileProber, pricing.go).
+type prober interface {
+	probe(addr uint64, write bool)
 }
 
-func (p *prober) probe(addr uint64, write bool) {
-	switch p.h.Access(addr, write) {
-	case cache.LevelL1:
-		// already priced into NNZComputeCycles
-	case cache.LevelL2:
-		for j := range p.stall {
-			p.stall[j] += p.l2hit
-		}
-	case cache.LevelMemory:
-		for j, lat := range p.memLat {
-			p.stall[j] += lat
-		}
-	}
+// hierProber drives one core's exact cache hierarchy. Stall cycles are no
+// longer accumulated per access: they follow from the timed pass's event
+// counts in closed form (see simCoreSweep), which is what lets the
+// analytic backend reproduce them bit-for-bit.
+type hierProber struct {
+	h *cache.Hierarchy
+}
+
+func (p *hierProber) probe(addr uint64, write bool) {
+	p.h.Access(addr, write)
 }
 
 // simCoreSweep executes one UE's row list on a private cold cache hierarchy
@@ -234,7 +241,7 @@ func (m *Machine) simCoreSweep(machines []*Machine, a *sparse.CSR, x, y []float6
 		cfgs[j] = mj.Domains.ConfigFor(core)
 		memLat[j] = scc.MemoryLatencyCoreCycles(hops, cfgs[j])
 	}
-	pr := &prober{h: h, l2hit: m.Params.L2HitCycles, memLat: memLat, stall: make([]float64, len(machines))}
+	pr := &hierProber{h: h}
 
 	passes := 2 // warm-up pass + timed steady-state pass
 	if opts.ColdCache {
@@ -253,38 +260,43 @@ func (m *Machine) simCoreSweep(machines []*Machine, a *sparse.CSR, x, y []float6
 		if timed {
 			h.ResetStats()
 		}
-		for j := range pr.stall {
-			pr.stall[j] = 0
-		}
-		compute, nnz = m.runPass(a, x, y, rows, pr, opts, lay, timed)
+		compute, nnz = runPass(m, a, x, y, rows, pr, opts, lay, timed)
 	}
 
+	// Memory stalls follow from the timed pass's event counts in closed
+	// form: every L2 hit stalls L2HitCycles, every demand memory access
+	// memLat[j]. The closed form is what the analytic pricing backend
+	// computes from a stream profile, so exact and analytic results agree
+	// bit-for-bit wherever the profile's LRU model is exact.
 	stats := h.Stats()
 	out := make([]CoreResult, len(machines))
 	for j := range out {
 		cyc := cfgs[j].CoreCycleSec()
+		stall := float64(stats.L2Hits)*m.Params.L2HitCycles + float64(stats.MemAccesses)*memLat[j]
 		out[j] = CoreResult{
 			Core:        core,
 			Hops:        hops,
 			Rows:        len(rows),
 			NNZ:         nnz,
 			ComputeSec:  compute * cyc,
-			MemStallSec: pr.stall[j] * cyc,
+			MemStallSec: stall * cyc,
 			Slowdown:    1,
-			TimeSec:     (compute + pr.stall[j]) * cyc,
+			TimeSec:     (compute + stall) * cyc,
 			Cache:       stats,
 		}
 	}
 	return out
 }
 
-// runPass walks the rows once, returning (compute cycles, nnz); stall
-// cycles accumulate in pr. storeY=false is the untimed warm-up: the access
-// stream (and therefore cache behaviour) is unchanged, but the arithmetic
-// and the y store are skipped - the timed pass recomputes every owned y
-// element from scratch, so the final values cannot differ.
-func (m *Machine) runPass(a *sparse.CSR, x, y []float64, rows []int32,
-	pr *prober, opts Options, lay layout, storeY bool) (compute float64, nnz int) {
+// runPass walks the rows once, returning (compute cycles, nnz); every
+// line-crossing access goes to pr. storeY=false is the untimed warm-up:
+// the access stream (and therefore cache behaviour) is unchanged, but the
+// arithmetic and the y store are skipped - the timed pass recomputes every
+// owned y element from scratch, so the final values cannot differ. The
+// generic prober keeps the exact and profiling engines on ONE walk: any
+// divergence in the probe stream would break their proven agreement.
+func runPass[P prober](m *Machine, a *sparse.CSR, x, y []float64, rows []int32,
+	pr P, opts Options, lay layout, storeY bool) (compute float64, nnz int) {
 
 	noX := opts.Variant == KernelNoXMiss
 	var ptrS, idxS, valS, yS stream

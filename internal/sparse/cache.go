@@ -19,6 +19,13 @@ var (
 	cacheDupBytes   = obs.Default.Counter("sparse.matrix_cache.duplicate_bytes_wasted")
 	cacheUsedGauge  = obs.Default.Gauge("sparse.matrix_cache.used_bytes")
 	cacheResidGauge = obs.Default.Gauge("sparse.matrix_cache.resident")
+	// Profile (blob side-store) effectiveness: persisted stream profiles
+	// the analytic pricing path (internal/sim) keys by matrix content.
+	profHits       = obs.Default.Counter("sparse.matrix_cache.profile_hits")
+	profMisses     = obs.Default.Counter("sparse.matrix_cache.profile_misses")
+	profEvictions  = obs.Default.Counter("sparse.matrix_cache.profile_evictions")
+	profUsedGauge  = obs.Default.Gauge("sparse.matrix_cache.profile_used_bytes")
+	profResidGauge = obs.Default.Gauge("sparse.matrix_cache.profile_resident")
 )
 
 // MatrixCache memoises generated testbed matrices keyed by (entry name,
@@ -32,12 +39,19 @@ var (
 //
 // Generation is deterministic (each entry carries a fixed seed), so a
 // cached matrix is identical to a freshly generated one.
+//
+// Besides matrices the cache keeps opaque side blobs (GetBlob/PutBlob):
+// content-addressed stream profiles the analytic pricing fast path
+// persists alongside the matrices they were traced from. Blobs live in
+// the SAME LRU list and byte budget as matrices - one resident-bytes
+// bound governs both - but their hit/miss/eviction traffic is accounted
+// separately (profile_* counters, CacheStats.Profile* fields).
 type MatrixCache struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
-	lru    *list.List // front = most recently used; values are *matrixEntry
-	byKey  map[matrixKey]*list.Element
+	lru    *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[any]*list.Element
 
 	hits, misses, evictions uint64
 	// dupGens counts generations that lost a concurrent-miss race on the
@@ -45,6 +59,11 @@ type MatrixCache struct {
 	// resident copy); dupBytes is the size of those discarded matrices.
 	dupGens  uint64
 	dupBytes uint64
+
+	// Blob (profile) accounting, kept apart from matrix traffic.
+	profHits, profMisses, profEvictions uint64
+	profUsed                            int64
+	profResident                        int
 
 	// gen overrides matrix generation (test seam for orchestrating
 	// concurrent duplicate misses deterministically); nil uses
@@ -57,10 +76,20 @@ type matrixKey struct {
 	scale float64
 }
 
-type matrixEntry struct {
-	key  matrixKey
+// blobKey wraps blob keys so they can never collide with matrixKey in the
+// shared byKey map.
+type blobKey string
+
+type cacheEntry struct {
+	key  any // matrixKey or blobKey
 	m    *CSR
+	blob any
 	size int64
+}
+
+func (e *cacheEntry) isBlob() bool {
+	_, ok := e.key.(blobKey)
+	return ok
 }
 
 // NewMatrixCache builds a cache that keeps at most budgetBytes of CSR data
@@ -70,7 +99,7 @@ func NewMatrixCache(budgetBytes int64) *MatrixCache {
 	return &MatrixCache{
 		budget: budgetBytes,
 		lru:    list.New(),
-		byKey:  make(map[matrixKey]*list.Element),
+		byKey:  make(map[any]*list.Element),
 	}
 }
 
@@ -80,6 +109,29 @@ func (c *MatrixCache) generate(e TestbedEntry, scale float64) *CSR {
 		return c.gen(e, scale)
 	}
 	return e.GenerateScaled(scale)
+}
+
+// evictUntil drops LRU entries (of either kind) until size more bytes fit
+// the budget; callers hold the lock. It returns the per-kind eviction
+// counts of this pass.
+func (c *MatrixCache) evictUntil(size int64) (mat, blob uint64) {
+	for c.used+size > c.budget {
+		back := c.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, ent.key)
+		c.used -= ent.size
+		if ent.isBlob() {
+			c.profEvictions++
+			c.profUsed -= ent.size
+			c.profResident--
+			blob++
+		} else {
+			c.evictions++
+			mat++
+		}
+	}
+	return mat, blob
 }
 
 // Get returns the entry's matrix at the given scale, generating it on a
@@ -95,7 +147,7 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 	if el, ok := c.byKey[k]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
-		m := el.Value.(*matrixEntry).m
+		m := el.Value.(*cacheEntry).m
 		c.mu.Unlock()
 		cacheHits.Add(1)
 		return m
@@ -119,7 +171,7 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 		c.hits++
 		c.dupGens++
 		c.dupBytes += uint64(size)
-		res := el.Value.(*matrixEntry).m
+		res := el.Value.(*cacheEntry).m
 		c.mu.Unlock()
 		cacheHits.Add(1)
 		cacheDupGens.Add(1)
@@ -130,24 +182,79 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 		c.mu.Unlock()
 		return m // larger than the whole budget: hand out uncached
 	}
-	evicted := uint64(0)
-	for c.used+size > c.budget {
-		back := c.lru.Back()
-		ent := back.Value.(*matrixEntry)
-		c.lru.Remove(back)
-		delete(c.byKey, ent.key)
-		c.used -= ent.size
-		c.evictions++
-		evicted++
-	}
-	c.byKey[k] = c.lru.PushFront(&matrixEntry{key: k, m: m, size: size})
+	evicted, evictedBlobs := c.evictUntil(size)
+	c.byKey[k] = c.lru.PushFront(&cacheEntry{key: k, m: m, size: size})
 	c.used += size
-	used, resident := c.used, c.lru.Len()
+	used, resident := c.used, c.lru.Len()-c.profResident
 	c.mu.Unlock()
 	cacheEvictions.Add(evicted)
+	profEvictions.Add(evictedBlobs)
 	cacheUsedGauge.Set(used)
 	cacheResidGauge.Set(int64(resident))
 	return m
+}
+
+// GetBlob returns the side blob stored under key, refreshing its LRU
+// position. Safe on a nil cache (always a miss).
+func (c *MatrixCache) GetBlob(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.byKey[blobKey(key)]; ok {
+		c.lru.MoveToFront(el)
+		c.profHits++
+		v := el.Value.(*cacheEntry).blob
+		c.mu.Unlock()
+		profHits.Add(1)
+		return v, true
+	}
+	c.profMisses++
+	c.mu.Unlock()
+	profMisses.Add(1)
+	return nil, false
+}
+
+// PutBlob stores a side blob of the given size under key, evicting LRU
+// entries (matrices or blobs alike) to respect the shared byte budget.
+// When the key is already resident - e.g. two cells of a geometry sweep
+// built the same profile concurrently - the first copy wins so every
+// caller shares one instance. Blobs larger than the whole budget (or any
+// blob when the budget is non-positive) are not retained. Safe on a nil
+// cache (no-op).
+func (c *MatrixCache) PutBlob(key string, v any, size int64) {
+	if c == nil || v == nil {
+		return
+	}
+	if size < 0 {
+		size = 0
+	}
+	k := blobKey(key)
+	c.mu.Lock()
+	if el, ok := c.byKey[k]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	if size > c.budget {
+		c.mu.Unlock()
+		return
+	}
+	evicted, evictedBlobs := c.evictUntil(size)
+	c.byKey[k] = c.lru.PushFront(&cacheEntry{key: k, blob: v, size: size})
+	c.used += size
+	c.profUsed += size
+	c.profResident++
+	used, profUsed := c.used, c.profUsed
+	matResident := c.lru.Len() - c.profResident
+	profResident := c.profResident
+	c.mu.Unlock()
+	cacheEvictions.Add(evicted)
+	profEvictions.Add(evictedBlobs)
+	cacheUsedGauge.Set(used)
+	cacheResidGauge.Set(int64(matResident))
+	profUsedGauge.Set(profUsed)
+	profResidGauge.Set(int64(profResident))
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -161,6 +268,12 @@ type CacheStats struct {
 	WastedBytes            uint64
 	Resident               int
 	UsedBytes, BudgetBytes int64
+	// Profile (blob side-store) traffic, disjoint from the matrix
+	// counters above. ProfileUsedBytes is included in UsedBytes: one
+	// budget governs both kinds.
+	ProfileHits, ProfileMisses, ProfileEvictions uint64
+	ProfileResident                              int
+	ProfileUsedBytes                             int64
 }
 
 // Stats returns a snapshot of the cache counters. Safe on a nil cache.
@@ -176,8 +289,13 @@ func (c *MatrixCache) Stats() CacheStats {
 		Evictions:            c.evictions,
 		DuplicateGenerations: c.dupGens,
 		WastedBytes:          c.dupBytes,
-		Resident:             c.lru.Len(),
+		Resident:             c.lru.Len() - c.profResident,
 		UsedBytes:            c.used,
 		BudgetBytes:          c.budget,
+		ProfileHits:          c.profHits,
+		ProfileMisses:        c.profMisses,
+		ProfileEvictions:     c.profEvictions,
+		ProfileResident:      c.profResident,
+		ProfileUsedBytes:     c.profUsed,
 	}
 }

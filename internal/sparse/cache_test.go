@@ -179,7 +179,7 @@ func residentSizes(c *MatrixCache) (int64, int) {
 	var sum int64
 	n := 0
 	for el := c.lru.Front(); el != nil; el = el.Next() {
-		sum += el.Value.(*matrixEntry).size
+		sum += el.Value.(*cacheEntry).size
 		n++
 	}
 	return sum, n
@@ -308,5 +308,142 @@ func TestMatrixCacheConcurrentAccess(t *testing.T) {
 	// resident set are exact.
 	if st.Misses < uint64(len(entries)) || st.Resident != len(entries) {
 		t.Fatalf("expected %d resident entries, got %+v", len(entries), st)
+	}
+}
+
+// residentKinds walks the LRU front-to-back returning each entry's kind
+// ("m" or "b") - the oracle for cross-kind eviction-order tests.
+func residentKinds(c *MatrixCache) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).isBlob() {
+			out = append(out, "b")
+		} else {
+			out = append(out, "m")
+		}
+	}
+	return out
+}
+
+func TestProfileBlobRoundTripAndAccounting(t *testing.T) {
+	c := NewMatrixCache(1 << 20)
+	if _, ok := c.GetBlob("p1"); ok {
+		t.Fatal("empty cache returned a blob")
+	}
+	v := []uint64{1, 2, 3}
+	c.PutBlob("p1", v, 1000)
+	got, ok := c.GetBlob("p1")
+	if !ok || &got.([]uint64)[0] != &v[0] {
+		t.Fatal("blob round trip failed")
+	}
+	st := c.Stats()
+	if st.ProfileHits != 1 || st.ProfileMisses != 1 {
+		t.Fatalf("profile traffic = %+v", st)
+	}
+	if st.ProfileResident != 1 || st.ProfileUsedBytes != 1000 || st.UsedBytes != 1000 {
+		t.Fatalf("profile accounting = %+v", st)
+	}
+	// Matrix counters must be untouched by blob traffic.
+	if st.Hits != 0 || st.Misses != 0 || st.Resident != 0 {
+		t.Fatalf("blob traffic leaked into matrix counters: %+v", st)
+	}
+}
+
+// Profile entries share the byte budget with matrices: inserting blobs
+// must evict in strict LRU order across both kinds and never overflow.
+func TestProfileBlobBudgetAndEvictionOrder(t *testing.T) {
+	c := NewMatrixCache(1000)
+	c.PutBlob("a", "A", 400)
+	c.PutBlob("b", "B", 400)
+	c.GetBlob("a") // b is now LRU
+	c.PutBlob("c", "C", 400)
+	st := c.Stats()
+	if st.UsedBytes > st.BudgetBytes {
+		t.Fatalf("over budget: %+v", st)
+	}
+	if st.ProfileEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.ProfileEvictions)
+	}
+	if _, ok := c.GetBlob("b"); ok {
+		t.Fatal("LRU blob b survived eviction")
+	}
+	if _, ok := c.GetBlob("a"); !ok {
+		t.Fatal("recently used blob a was evicted out of order")
+	}
+	sum := st.ProfileUsedBytes
+	if sum != 800 || st.ProfileResident != 2 {
+		t.Fatalf("resident blob accounting = %+v", st)
+	}
+}
+
+// Blobs and matrices evict each other in shared LRU order.
+func TestProfileBlobEvictsAcrossKinds(t *testing.T) {
+	e1 := testEntry(t, "lhr04")
+	m1 := e1.GenerateScaled(0.1)
+	budget := m1.SizeBytes() + 500
+	c := NewMatrixCache(budget)
+	c.Get(e1, 0.1)
+	c.PutBlob("p", "P", 400)
+	if kinds := residentKinds(c); len(kinds) != 2 || kinds[0] != "b" || kinds[1] != "m" {
+		t.Fatalf("resident order = %v, want [b m]", kinds)
+	}
+	// A blob that only fits by evicting the (LRU) matrix must do exactly that.
+	c.PutBlob("q", "Q", m1.SizeBytes())
+	st := c.Stats()
+	if st.UsedBytes > st.BudgetBytes {
+		t.Fatalf("over budget: %+v", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("matrix evictions = %d, want 1 (matrix was LRU)", st.Evictions)
+	}
+	if _, ok := c.GetBlob("p"); !ok {
+		t.Fatal("newer blob p evicted before the older matrix")
+	}
+	// And a matrix insertion can evict blobs.
+	c.PutBlob("big", "BIG", budget-100)
+	before := c.Stats()
+	c.Get(e1, 0.1)
+	st = c.Stats()
+	if st.UsedBytes > st.BudgetBytes {
+		t.Fatalf("over budget after matrix insert: %+v", st)
+	}
+	if st.ProfileEvictions <= before.ProfileEvictions {
+		t.Fatal("matrix insertion did not evict the blocking blob")
+	}
+}
+
+func TestProfileBlobOversizeAndDisabled(t *testing.T) {
+	c := NewMatrixCache(100)
+	c.PutBlob("huge", "H", 101)
+	if st := c.Stats(); st.ProfileResident != 0 || st.UsedBytes != 0 {
+		t.Fatalf("oversized blob retained: %+v", st)
+	}
+	off := NewMatrixCache(0)
+	off.PutBlob("p", "P", 1)
+	if _, ok := off.GetBlob("p"); ok {
+		t.Fatal("zero-budget cache retained a blob")
+	}
+	var nilCache *MatrixCache
+	nilCache.PutBlob("p", "P", 1)
+	if _, ok := nilCache.GetBlob("p"); ok {
+		t.Fatal("nil cache returned a blob")
+	}
+}
+
+// A duplicate PutBlob (two sweep cells racing to persist one profile)
+// keeps the first copy so all callers share one instance.
+func TestProfileBlobDuplicatePutKeepsFirst(t *testing.T) {
+	c := NewMatrixCache(1 << 20)
+	first := []int{1}
+	c.PutBlob("p", first, 100)
+	c.PutBlob("p", []int{2}, 100)
+	got, ok := c.GetBlob("p")
+	if !ok || &got.([]int)[0] != &first[0] {
+		t.Fatal("duplicate put replaced the resident blob")
+	}
+	if st := c.Stats(); st.ProfileResident != 1 || st.ProfileUsedBytes != 100 {
+		t.Fatalf("duplicate put double-counted: %+v", st)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // CSR is a sparse matrix in Compressed-Sparse-Row format.
@@ -28,6 +29,12 @@ type CSR struct {
 	Index []int32
 	// Val holds the stored values.
 	Val []float64
+
+	// contentKey memoises ContentKey: hashing every nonzero is O(nnz) and
+	// geometry sweeps ask for the key once per cell. CSR values are shared
+	// by pointer and treated as immutable once built, so the first computed
+	// key stays valid for the matrix's lifetime.
+	contentKey atomic.Pointer[string]
 }
 
 // NNZ returns the number of stored entries.
@@ -56,6 +63,51 @@ func (m *CSR) Row(i int) ([]int32, []float64) {
 // prices what a matrix cache must keep resident.
 func (m *CSR) SizeBytes() int64 {
 	return 4*int64(len(m.Ptr)) + 4*int64(len(m.Index)) + 8*int64(len(m.Val))
+}
+
+// ContentKey returns a content-addressed identity of the matrix: an
+// FNV-1a hash over the dimensions and the Ptr/Index/Val arrays, rendered
+// as a fixed-width hex string. Two structurally identical matrices share a
+// key regardless of Name; any pattern or value difference changes it. It
+// is the cache key the analytic-pricing profile store (internal/sim) uses
+// to bind persisted stream profiles to exact matrix content. The first
+// call hashes the arrays; later calls return the memoised key, relying on
+// the convention that a CSR is immutable once handed out.
+func (m *CSR) ContentKey() string {
+	if k := m.contentKey.Load(); k != nil {
+		return *k
+	}
+	k := m.hashContent()
+	m.contentKey.Store(&k)
+	return k
+}
+
+func (m *CSR) hashContent() string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(m.Rows))
+	mix(uint64(m.Cols))
+	mix(uint64(m.NNZ()))
+	for _, p := range m.Ptr {
+		mix(uint64(uint32(p)))
+	}
+	for _, ix := range m.Index {
+		mix(uint64(uint32(ix)))
+	}
+	for _, v := range m.Val {
+		mix(math.Float64bits(v))
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // WorkingSetBytes returns the SpMV working set in bytes exactly as the paper

@@ -30,6 +30,10 @@ type ReuseAnalyzer struct {
 	n    uint64
 	// maxCap tracks the largest finite distance seen.
 	maxDist int64
+	// exact, when non-nil, counts distances d < len(exact) individually
+	// (no log2 bucketing); distances at or beyond the bound still land in
+	// the log2 histogram only.
+	exact []uint64
 }
 
 // NewReuseAnalyzer returns an analyzer sized for about capHint accesses
@@ -42,6 +46,18 @@ func NewReuseAnalyzer(capHint int) *ReuseAnalyzer {
 		bit:      make([]int64, capHint+1),
 		lastTime: make(map[uint64]int, capHint/4),
 	}
+}
+
+// NewReuseAnalyzerExact returns an analyzer that additionally keeps an
+// exact (per-distance) histogram for distances below bound. Capacities up
+// to the bound can then be priced without the factor-of-two bucketing
+// error of the log2 histogram; memory cost is 8*bound bytes.
+func NewReuseAnalyzerExact(capHint, bound int) *ReuseAnalyzer {
+	r := NewReuseAnalyzer(capHint)
+	if bound > 0 {
+		r.exact = make([]uint64, bound)
+	}
+	return r
 }
 
 // Touch records an access to the given key (typically a cache-line address)
@@ -76,6 +92,9 @@ func (r *ReuseAnalyzer) Touch(key uint64) int64 {
 		r.cold++
 	} else {
 		r.hist[log2bucket(dist)]++
+		if dist < int64(len(r.exact)) {
+			r.exact[dist]++
+		}
 		if dist > r.maxDist {
 			r.maxDist = dist
 		}
@@ -124,6 +143,12 @@ type Profile struct {
 	MaxDistance int64
 	// DistinctKeys is the number of distinct keys touched.
 	DistinctKeys int
+	// Exact, when non-nil, counts each distance d < ExactBound
+	// individually (see NewReuseAnalyzerExact); Exact[d] accesses had
+	// stack distance exactly d. Distances >= ExactBound appear only in
+	// the bucketed Hist.
+	Exact      []uint64
+	ExactBound int64
 }
 
 // Profile returns a snapshot of the accumulated distance profile.
@@ -134,16 +159,36 @@ func (r *ReuseAnalyzer) Profile() Profile {
 		Hist:         r.hist,
 		MaxDistance:  r.maxDist,
 		DistinctKeys: len(r.lastTime),
+		Exact:        append([]uint64(nil), r.exact...),
+		ExactBound:   int64(len(r.exact)),
 	}
 }
 
 // HitRatioAtCapacity estimates the hit ratio of a fully-associative LRU
 // cache holding capacity keys: the fraction of accesses with distance <
-// capacity. Bucketing makes it approximate within a factor-of-two band
-// boundary; the bucket straddling the capacity is split proportionally.
+// capacity.
+//
+// When the profile carries an exact histogram (NewReuseAnalyzerExact) and
+// capacity <= ExactBound, the result is exact. Otherwise the log2-bucketed
+// histogram is used and the bucket straddling the capacity is split
+// proportionally, assuming distances are uniform within the bucket. The
+// true distances in bucket b all lie in [2^(b-1), 2^b - 1], so a capacity
+// cutting through a bucket can be misattributed by up to that bucket's
+// whole population: the estimate is only guaranteed to agree with the
+// exact ratio at power-of-two capacities (bucket boundaries), and
+// in-between it can err by the mass of one factor-of-two band (see
+// TestExactVsBucketedDivergence for a stream where the divergence reaches
+// the full bucket fraction).
 func (p Profile) HitRatioAtCapacity(capacity int64) float64 {
 	if p.Accesses == 0 || capacity <= 0 {
 		return 0
+	}
+	if capacity <= p.ExactBound {
+		var hits uint64
+		for _, c := range p.Exact[:capacity] {
+			hits += c
+		}
+		return float64(hits) / float64(p.Accesses)
 	}
 	var hits float64
 	for b, c := range p.Hist {

@@ -187,6 +187,54 @@ func TestTracePanicsOnBadLine(t *testing.T) {
 	}
 }
 
+// TestExactVsBucketedDivergence pins the bucketing error of the log2
+// histogram at a non-power-of-two capacity: all re-accesses in the stream
+// have distance 2 (bucket 2 spans distances 2..3), so a capacity-3 LRU
+// hits every one of them. The bucketed estimate splits the straddled
+// bucket 50/50 and reports only half the hits; the exact histogram must
+// report them all.
+func TestExactVsBucketedDivergence(t *testing.T) {
+	mk := func(exactBound int) Profile {
+		r := NewReuseAnalyzerExact(64, exactBound)
+		// Cycle over 3 keys: after warmup every access has distance 2.
+		for round := 0; round < 100; round++ {
+			for key := uint64(0); key < 3; key++ {
+				r.Touch(key)
+			}
+		}
+		return r.Profile()
+	}
+
+	exact := mk(8)
+	bucketed := mk(0) // no exact histogram: falls back to log2 buckets
+
+	reaccess := float64(exact.Accesses-exact.Cold) / float64(exact.Accesses)
+	if got := exact.HitRatioAtCapacity(3); got != reaccess {
+		t.Fatalf("exact capacity-3 hit ratio = %v, want %v", got, reaccess)
+	}
+	got := bucketed.HitRatioAtCapacity(3)
+	want := reaccess / 2 // proportional split of bucket [2,3]
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("bucketed capacity-3 hit ratio = %v, want %v (half the bucket)", got, want)
+	}
+	// The divergence is the full half-bucket mass — this is the error the
+	// HitRatioAtCapacity godoc documents.
+	if div := exact.HitRatioAtCapacity(3) - got; div < 0.45 {
+		t.Fatalf("exact-vs-bucketed divergence %v, want ~%v", div, reaccess/2)
+	}
+	// At bucket boundaries (power-of-two capacities) the two must agree.
+	for _, c := range []int64{1, 2, 4, 8} {
+		e, b := exact.HitRatioAtCapacity(c), bucketed.HitRatioAtCapacity(c)
+		if d := e - b; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("capacity %d: exact %v != bucketed %v at bucket boundary", c, e, b)
+		}
+	}
+	// Beyond the exact bound the exact profile falls back to buckets too.
+	if e, b := exact.HitRatioAtCapacity(9), bucketed.HitRatioAtCapacity(9); e != b {
+		t.Fatalf("above bound: exact-profile ratio %v != bucketed %v", e, b)
+	}
+}
+
 // Property: distances computed by the Fenwick analyzer match a brute-force
 // LRU stack simulation.
 func TestQuickReuseMatchesBruteForce(t *testing.T) {

@@ -1,0 +1,425 @@
+package trace
+
+import "fmt"
+
+// This file implements the "trace-once, price-many" profile: a write-aware
+// LRU stack-distance analysis of a cache-line access stream carried out at
+// several set counts simultaneously. Because LRU is a stack algorithm, a
+// set-associative LRU cache with 2^s sets holds, in every set, exactly the
+// MaxWays most recently used lines of that set; an access whose per-set
+// stack distance is d hits every cache with 2^s sets and more than d ways.
+// One pass over the stream therefore yields exact hit, miss and write-back
+// counts for EVERY geometry (sets = 2^s within the configured range, ways
+// <= MaxWays) - the Hill & Smith all-associativity method extended with
+// per-way write-back accounting.
+//
+// Write-backs use a per-entry clean-below threshold tau: a line is dirty in
+// the W-way cache iff W > tau. A store makes the line dirty everywhere
+// (tau = 0); a read at stack distance d refetches the line cleanly into
+// every cache that missed (tau = max(tau, d)); and an entry shifting from
+// stack position W-1 to W is, at that moment, the line the W-way cache
+// evicts, so it contributes a write-back to the W-way geometry iff tau < W.
+//
+// The write-back bookkeeping is deferred for speed: tau is constant between
+// two touches of an entry, so the dirty crossings of its whole descent - a
+// contiguous associativity span (max(tau, base), d] - are settled in O(1)
+// against a per-level difference array when the entry is next touched,
+// evicted, or snapshotted, instead of per position during every shift. The
+// base field excludes descent that happened while recording was off.
+
+// AccessKind classifies one access of the profiled (L1-to-L2) stream. The
+// distinction mirrors internal/cache.Hierarchy accounting: demand accesses
+// are L1 misses (their L2 misses become demand memory accesses), forwarded
+// stores are write-through L1 store hits passed below (their L2 misses add
+// a write-allocate line fill but no demand memory access).
+type AccessKind int
+
+const (
+	// DemandRead is an L1 read miss probing the L2.
+	DemandRead AccessKind = iota
+	// DemandStore is an L1 store miss forwarded to the L2 as a store
+	// (write-through L1: the miss carries the dirty data down).
+	DemandStore
+	// ForwardedStore is a write-through L1 store hit forwarded below.
+	ForwardedStore
+)
+
+// SetConfig bounds the geometries a SetAnalyzer can price: set counts
+// 2^MinSetsLog2 .. 2^MaxSetsLog2 and associativities 1..MaxWays.
+type SetConfig struct {
+	MinSetsLog2, MaxSetsLog2 int
+	MaxWays                  int
+}
+
+// Validate checks the bounds. MaxSetsLog2 is capped at 20 because every
+// level allocates a dense per-set index (2^s slice headers).
+func (c SetConfig) Validate() error {
+	if c.MinSetsLog2 < 0 || c.MaxSetsLog2 < c.MinSetsLog2 || c.MaxSetsLog2 > 20 {
+		return fmt.Errorf("trace: bad set range [%d, %d]", c.MinSetsLog2, c.MaxSetsLog2)
+	}
+	if c.MaxWays < 1 || c.MaxWays > 64 {
+		return fmt.Errorf("trace: MaxWays %d outside 1..64", c.MaxWays)
+	}
+	return nil
+}
+
+// Covers reports whether a (sets = 2^setsLog2, ways) geometry is priceable.
+func (c SetConfig) Covers(setsLog2, ways int) bool {
+	return setsLog2 >= c.MinSetsLog2 && setsLog2 <= c.MaxSetsLog2 &&
+		ways >= 1 && ways <= c.MaxWays
+}
+
+// Each resident line is one packed uint64: the line number in the high
+// bits, below it tau (the clean-below threshold: the line is dirty in a
+// W-way cache iff W > tau) and base (the floor of the entry's accountable
+// descent: dirty crossings at associativities <= base happened while
+// recording was off, or were already settled, and must not be charged;
+// it is the entry's stack position at the most recent recording flip,
+// 0 otherwise). Packing keeps a whole 8-way set in one 64-byte host
+// cache line, which matters because the profile build is bound by the
+// scattered per-level state it touches per access, not by arithmetic.
+const (
+	entryMetaBits = 14 // tau and base, 7 bits each (ways <= 64)
+	entryTauShift = 7
+	entryFieldMax = 1 << 7
+
+	// MaxLine is the largest cache-line number a SetAnalyzer accepts:
+	// lines share their packed entry with the metadata fields above.
+	MaxLine = 1<<(64-entryMetaBits) - 1
+)
+
+func packEntry(line uint64, tau, base int32) uint64 {
+	return line<<entryMetaBits | uint64(tau)<<entryTauShift | uint64(base)
+}
+
+func entryLine(e uint64) uint64 { return e >> entryMetaBits }
+func entryTau(e uint64) int32   { return int32(e >> entryTauShift & (entryFieldMax - 1)) }
+func entryBase(e uint64) int32  { return int32(e & (entryFieldMax - 1)) }
+
+// setLevel tracks one set count: per-set LRU stacks truncated at ways
+// entries plus the per-distance histograms and deferred write-back spans.
+// The stacks live in one flat array: set s occupies the ways-sized chunk
+// at s*ways as a circular buffer whose MRU slot is heads[s], so a miss -
+// the dominant case of an L1-filtered stream - inserts in O(1) by
+// rotating the head instead of shifting the whole stack. This layout
+// plus the deferred write-back accounting is worth several x on the
+// build over the map-of-slices it replaced.
+type setLevel struct {
+	mask  uint64
+	ways  int
+	ents  []uint64
+	heads []uint8
+	lens  []uint8
+	// demandHist[d] / fwdHist[d] count accesses at per-set stack distance
+	// exactly d for d < ways; index ways pools distances >= ways and cold
+	// accesses (a miss at every priceable associativity).
+	demandHist []uint64
+	fwdHist    []uint64
+	// wbDiff accumulates dirty-crossing spans as a difference array over
+	// associativity: a descent span (a, b] adds +1 at a+1 and -1 at b+1;
+	// writeBacks[W] is the prefix sum 1..W, materialised by Profile.
+	wbDiff []int64
+}
+
+// settle charges an entry's pending dirty crossings - the associativity
+// span (max(tau, base), pos] - against a difference array.
+func settle(diff []int64, e uint64, pos int32) {
+	a := entryTau(e)
+	if b := entryBase(e); b > a {
+		a = b
+	}
+	if a < pos {
+		diff[a+1]++
+		diff[pos+1]--
+	}
+}
+
+// touch records one access at this level and returns the per-set stack
+// distance (ways meaning "missed everywhere"). from is a proven lower
+// bound on the distance (a finer level's result; 0 when unknown), letting
+// the scan skip positions the entry cannot occupy. Stack state always
+// advances; histograms and write-back spans accumulate only while
+// recording (the timed pass), matching the warm-up/ResetStats split of
+// the exact simulator.
+func (l *setLevel) touch(line uint64, store, recording bool, from int) int {
+	ways := l.ways
+	set := line & l.mask
+	b := int(set) * ways
+	head := int(l.heads[set])
+	n := int(l.lens[set])
+	// Distance-0 fast path: an MRU re-touch moves nothing and has no
+	// pending descent span to settle ((max(tau, base), 0] is empty).
+	if from == 0 && n > 0 && entryLine(l.ents[b+head]) == line {
+		if store {
+			l.ents[b+head] = packEntry(line, 0, entryBase(l.ents[b+head]))
+		}
+		return 0
+	}
+	if from < 1 {
+		from = 1
+	}
+	for j := from; j < n; j++ {
+		p := head + j
+		if p >= ways {
+			p -= ways
+		}
+		e := l.ents[b+p]
+		if entryLine(e) != line {
+			continue
+		}
+		if recording {
+			// The hit settles this entry's own descent; the entries above
+			// it merely slide down one position each, which their own next
+			// settle covers.
+			settle(l.wbDiff, e, int32(j))
+		}
+		tau := entryTau(e)
+		if store {
+			tau = 0
+		} else if int32(j) > tau {
+			tau = int32(j)
+		}
+		// Move to front: slide logical 0..j-1 down one slot, then
+		// reinsert at the head.
+		dst := p
+		for k := j - 1; k >= 0; k-- {
+			src := head + k
+			if src >= ways {
+				src -= ways
+			}
+			l.ents[b+dst] = l.ents[b+src]
+			dst = src
+		}
+		l.ents[b+head] = packEntry(line, tau, 0)
+		return j
+	}
+	l.insertMiss(line, store, recording)
+	return ways
+}
+
+// insertMiss records an access known to miss the truncated stack (either
+// touch scanned and failed, or a finer level already missed): rotate the
+// head back one slot and claim it.
+func (l *setLevel) insertMiss(line uint64, store, recording bool) {
+	ways := l.ways
+	set := line & l.mask
+	b := int(set) * ways
+	n := int(l.lens[set])
+	tau := int32(ways)
+	if store {
+		tau = 0
+	}
+	head := int(l.heads[set]) - 1
+	if head < 0 {
+		head += ways
+	}
+	if n < ways {
+		// The claimed slot was vacant; the stack just grows.
+		l.lens[set] = uint8(n + 1)
+	} else if recording {
+		// The claimed slot held the LRU entry: it has by now crossed
+		// every boundary up to the ways-way eviction.
+		settle(l.wbDiff, l.ents[b+head], int32(ways))
+	}
+	l.heads[set] = uint8(head)
+	l.ents[b+head] = packEntry(line, tau, 0)
+}
+
+// SetAnalyzer runs the multi-geometry analysis online over a cache-line
+// stream. It is not safe for concurrent use; each simulated UE owns one.
+type SetAnalyzer struct {
+	cfg       SetConfig
+	levels    []setLevel
+	recording bool
+}
+
+// NewSetAnalyzer builds an analyzer for the given geometry bounds; it
+// panics on an invalid configuration (analyzers are constructed at
+// simulator setup, where that is a programming error).
+func NewSetAnalyzer(cfg SetConfig) *SetAnalyzer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a := &SetAnalyzer{cfg: cfg, recording: true}
+	for s := cfg.MinSetsLog2; s <= cfg.MaxSetsLog2; s++ {
+		sets := 1 << uint(s)
+		a.levels = append(a.levels, setLevel{
+			mask:       uint64(sets) - 1,
+			ways:       cfg.MaxWays,
+			ents:       make([]uint64, sets*cfg.MaxWays),
+			heads:      make([]uint8, sets),
+			lens:       make([]uint8, sets),
+			demandHist: make([]uint64, cfg.MaxWays+1),
+			fwdHist:    make([]uint64, cfg.MaxWays+1),
+			wbDiff:     make([]int64, cfg.MaxWays+2),
+		})
+	}
+	return a
+}
+
+// SetRecording gates histogram and write-back accumulation: stack state
+// always advances so a warm-up pass (recording off) leaves the analyzer
+// warmed exactly like the exact simulator's untimed pass leaves its caches.
+// A flip re-bases every resident entry: turning recording on discards the
+// unrecorded part of each descent; turning it off settles the recorded part
+// before further unrecorded movement can blur it.
+func (a *SetAnalyzer) SetRecording(on bool) {
+	if on == a.recording {
+		return
+	}
+	for i := range a.levels {
+		l := &a.levels[i]
+		for set, n := range l.lens {
+			b, head := set*l.ways, int(l.heads[set])
+			for j := 0; j < int(n); j++ {
+				p := head + j
+				if p >= l.ways {
+					p -= l.ways
+				}
+				e := l.ents[b+p]
+				if !on {
+					settle(l.wbDiff, e, int32(j))
+				}
+				l.ents[b+p] = packEntry(entryLine(e), entryTau(e), int32(j))
+			}
+		}
+	}
+	a.recording = on
+}
+
+// Touch records one access to a cache-line number (not a byte address).
+//
+// Levels are walked finest (most sets) to coarsest: per-set stack
+// distance is non-increasing in the set count (a finer set's residents
+// are a subsequence of its coarser superset's), so each level's distance
+// lower-bounds the next coarser one. The bound skips scan prefixes, and
+// once any level misses its truncated stack the access has distance >=
+// MaxWays everywhere coarser and takes the O(1) no-scan miss insert. On
+// an L1-filtered stream - cold fills and far reuse - that is the
+// dominant case.
+func (a *SetAnalyzer) Touch(line uint64, kind AccessKind) {
+	if line > MaxLine {
+		panic(fmt.Sprintf("trace: line %#x exceeds MaxLine %#x", line, uint64(MaxLine)))
+	}
+	store := kind != DemandRead
+	bound := 0
+	for i := len(a.levels) - 1; i >= 0; i-- {
+		l := &a.levels[i]
+		if bound == a.cfg.MaxWays {
+			l.insertMiss(line, store, a.recording)
+			a.record(i, a.cfg.MaxWays, kind)
+			continue
+		}
+		d := l.touch(line, store, a.recording, bound)
+		a.record(i, d, kind)
+		bound = d
+	}
+}
+
+func (a *SetAnalyzer) record(level, d int, kind AccessKind) {
+	if !a.recording {
+		return
+	}
+	if kind == ForwardedStore {
+		a.levels[level].fwdHist[d]++
+	} else {
+		a.levels[level].demandHist[d]++
+	}
+}
+
+// SetLevelProfile is the recorded outcome at one set count.
+type SetLevelProfile struct {
+	SetsLog2 int
+	// DemandHist and FwdHist index per-set stack distance; the last slot
+	// pools distances >= MaxWays and cold accesses. WriteBacks indexes
+	// associativity W (slot 0 unused).
+	DemandHist, FwdHist []uint64
+	WriteBacks          []uint64
+}
+
+// SetProfile is an immutable snapshot of a SetAnalyzer: everything needed
+// to price any covered geometry in O(ways).
+type SetProfile struct {
+	Config SetConfig
+	Levels []SetLevelProfile
+}
+
+// Profile snapshots the recorded histograms (the analyzer may keep going).
+// Deferred write-back spans of still-resident entries are flushed into the
+// snapshot without disturbing the live difference array.
+func (a *SetAnalyzer) Profile() SetProfile {
+	p := SetProfile{Config: a.cfg}
+	for i := range a.levels {
+		l := &a.levels[i]
+		diff := append([]int64(nil), l.wbDiff...)
+		if a.recording {
+			for set, n := range l.lens {
+				b, head := set*l.ways, int(l.heads[set])
+				for j := 0; j < int(n); j++ {
+					p := head + j
+					if p >= l.ways {
+						p -= l.ways
+					}
+					settle(diff, l.ents[b+p], int32(j))
+				}
+			}
+		}
+		wb := make([]uint64, a.cfg.MaxWays+1)
+		var run int64
+		for w := 1; w <= a.cfg.MaxWays; w++ {
+			run += diff[w]
+			wb[w] = uint64(run)
+		}
+		p.Levels = append(p.Levels, SetLevelProfile{
+			SetsLog2:   a.cfg.MinSetsLog2 + i,
+			DemandHist: append([]uint64(nil), l.demandHist...),
+			FwdHist:    append([]uint64(nil), l.fwdHist...),
+			WriteBacks: wb,
+		})
+	}
+	return p
+}
+
+// SetPrice is the exact outcome of one LRU geometry over the recorded
+// stream: hit/miss splits per access kind and the dirty write-back count.
+type SetPrice struct {
+	DemandHits, DemandMisses uint64
+	FwdHits, FwdMisses       uint64
+	WriteBacks               uint64
+}
+
+// Price returns the exact LRU counts for a (sets = 2^setsLog2, ways)
+// geometry, or ok=false when the profile does not cover it.
+func (p *SetProfile) Price(setsLog2, ways int) (SetPrice, bool) {
+	if !p.Config.Covers(setsLog2, ways) {
+		return SetPrice{}, false
+	}
+	l := &p.Levels[setsLog2-p.Config.MinSetsLog2]
+	var out SetPrice
+	for d, c := range l.DemandHist {
+		if d < ways {
+			out.DemandHits += c
+		} else {
+			out.DemandMisses += c
+		}
+	}
+	for d, c := range l.FwdHist {
+		if d < ways {
+			out.FwdHits += c
+		} else {
+			out.FwdMisses += c
+		}
+	}
+	out.WriteBacks = l.WriteBacks[ways]
+	return out, true
+}
+
+// SizeBytes estimates the snapshot's memory footprint (cache accounting).
+func (p *SetProfile) SizeBytes() int64 {
+	var n int64 = 64
+	for i := range p.Levels {
+		l := &p.Levels[i]
+		n += 32 + 8*int64(len(l.DemandHist)+len(l.FwdHist)+len(l.WriteBacks))
+	}
+	return n
+}
