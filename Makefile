@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke sccvet fmt-check ci clean
+.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke serve-smoke sccvet fmt-check ci clean
 
 all: build
 
@@ -38,20 +38,21 @@ test:
 # a single-CPU host, so the timeout is raised explicitly.
 race:
 	$(GO) vet ./...
-	$(GO) test -race -timeout 30m ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv
+	$(GO) test -race -timeout 30m ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv ./internal/serve
 
 # chaos runs the fault-injection suite (internal/fault plans driven
 # through the RCCE watchdog and the experiment engine's error isolation)
 # under the race detector: deadlock detection, dropped/delayed messages,
 # failed ranks, matrix/cell faults and cancellation paths.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos' ./internal/rcce ./internal/experiments
+	$(GO) test -race -timeout 10m -run 'Chaos' ./internal/rcce ./internal/experiments ./internal/serve
 	$(GO) test -race -timeout 10m ./internal/fault ./internal/obs
 
 # ci is the full pre-merge pipeline: the check gate, the race detector
-# over the host-concurrent packages, the chaos suite, and the bench
-# smoke (which exercises all three engine legs end to end).
-ci: check race chaos bench-smoke
+# over the host-concurrent packages, the chaos suite, the bench smoke
+# (which exercises all three engine legs end to end), and the daemon
+# smoke (which exercises the job API and result cache over real HTTP).
+ci: check race chaos bench-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -67,6 +68,13 @@ bench-smoke:
 # the BENCH_fig9.json record.
 perf:
 	$(GO) run ./cmd/sccsim -exp bench -benchexp fig9
+
+# serve-smoke proves the sccsimd job daemon end to end: an in-process
+# daemon on a loopback port runs a tiny job twice over real HTTP and
+# asserts the second submission is served from the content-addressed
+# result cache with byte-identical tables.
+serve-smoke:
+	$(GO) run ./cmd/sccsimd -selfcheck
 
 # metrics-smoke proves the observability layer end to end: a small run
 # with -metrics must emit parseable JSON with nonzero engine counters

@@ -98,6 +98,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sccsim: -exp or -list required (try -list)")
 		return 2
 	}
+	if err := validateFlags(*scale, *stride, *max, *parallel, *cacheMB); err != nil {
+		fmt.Fprintf(os.Stderr, "sccsim: %v\n", err)
+		return 2
+	}
 
 	// code only ever ratchets up: a later cleanup failure cannot mask an
 	// earlier error, and a cleanup error turns a "successful" run red.
@@ -240,6 +244,29 @@ func run() int {
 		}
 	}
 	return code
+}
+
+// validateFlags rejects out-of-range engine knobs at startup with a clear
+// message, instead of letting them surface as undefined behavior deep in
+// partitioning or matrix generation (a negative -parallel used to reach
+// the pool, -scale 0 the generator, -stride 0 the subset walk).
+func validateFlags(scale float64, stride, max, parallel int, cacheMB int64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("-scale %v outside (0, 1]: 1.0 is the paper's size, smaller shrinks the testbed", scale)
+	}
+	if stride < 1 {
+		return fmt.Errorf("-stride %d invalid: need >= 1 (1 keeps every testbed matrix)", stride)
+	}
+	if max < 0 {
+		return fmt.Errorf("-max %d invalid: need >= 0 (0 keeps all selected matrices)", max)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel %d invalid: need >= 0 (0 = GOMAXPROCS, 1 = serial reference engine)", parallel)
+	}
+	if cacheMB < 0 {
+		return fmt.Errorf("-cachemb %d invalid: need >= 0 (0 disables memoisation)", cacheMB)
+	}
+	return nil
 }
 
 // writeHeapProfile captures a post-GC heap profile, closing the file and

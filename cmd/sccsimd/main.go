@@ -1,0 +1,243 @@
+// Command sccsimd is the simulation-as-a-service daemon: it serves the
+// experiment harness over an HTTP/JSON job API (internal/serve).
+//
+// Usage:
+//
+//	sccsimd [-addr 127.0.0.1:8077] [-workers N] [-queue 64]
+//	        [-cachemb 1024] [-resultmb 256] [-deadline 15m]
+//	sccsimd -selfcheck
+//
+// Clients POST job configurations to /api/v1/jobs, poll or stream
+// progress, and fetch rendered tables when done. Determinism makes every
+// result content-addressable: resubmitting an identical job is served
+// bit-identically from the result cache without re-running, and
+// duplicate submissions in flight coalesce onto one execution. See
+// DESIGN.md section 10 and the README's "Serving" section for the API.
+//
+// -selfcheck starts an in-process daemon on a loopback port, runs a tiny
+// job twice over real HTTP, asserts the second submission is a cache hit
+// with byte-identical tables, and exits 0/1. It is the smoke test wired
+// into `make serve-smoke`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8077", "listen address for the HTTP API")
+		workers   = flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "accepted-but-unstarted job bound; beyond it submissions get 503")
+		cacheMB   = flag.Int64("cachemb", 1024, "shared generated-matrix cache budget in MiB")
+		resultMB  = flag.Int64("resultmb", 256, "content-addressed result cache budget in MiB")
+		deadline  = flag.Duration("deadline", 15*time.Minute, "default per-job execution deadline (jobs may set their own)")
+		progress  = flag.Bool("progress", false, "print a periodic engine-metrics heartbeat to stderr")
+		selfcheck = flag.Bool("selfcheck", false, "start on a loopback port, run a tiny job twice, assert the second is a cache hit, exit")
+	)
+	flag.Parse()
+
+	cfg := serve.ServerConfig{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultDeadline:  *deadline,
+		MatrixCacheBytes: *cacheMB << 20,
+		ResultStoreBytes: *resultMB << 20,
+	}
+
+	if *selfcheck {
+		if err := runSelfcheck(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "sccsimd: selfcheck FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Println("sccsimd: selfcheck ok (second submission served from cache, bytes identical)")
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var reporter *obs.Reporter
+	if *progress {
+		reporter = obs.NewReporter(obs.Default, os.Stderr, 5*time.Second)
+		reporter.Start()
+		defer reporter.Stop()
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccsimd: listen %s: %v\n", *addr, err)
+		return 1
+	}
+	nworkers := cfg.Workers
+	if nworkers <= 0 {
+		nworkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "sccsimd: serving on http://%s (workers %d, queue %d)\n",
+		l.Addr(), nworkers, cfg.QueueDepth)
+
+	s := serve.NewServer(cfg)
+	if err := s.Run(ctx, l); err != nil {
+		fmt.Fprintf(os.Stderr, "sccsimd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "sccsimd: shut down")
+	return 0
+}
+
+// selfcheckPool fans the in-process daemon and its client out without
+// bare goroutines (the repo-wide sccvet rule).
+var selfcheckPool = obs.Default.Pool("sccsimd.selfcheck")
+
+// runSelfcheck is the end-to-end smoke: a real daemon on a loopback
+// port, a real HTTP client, a tiny deterministic job run twice. The
+// second submission must be a cache hit and the fetched tables must be
+// byte-identical to the first run's.
+func runSelfcheck(cfg serve.ServerConfig) error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	base := "http://" + l.Addr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	s := serve.NewServer(cfg)
+	var clientErr error
+	selfcheckPool.ForEach(2, 2, func(i int) {
+		if i == 0 {
+			s.Run(ctx, l)
+			return
+		}
+		defer cancel() // client done (or failed): shut the daemon down
+		clientErr = selfcheckClient(ctx, base)
+	})
+	return clientErr
+}
+
+// selfcheckClient drives the submit -> wait -> fetch -> resubmit flow.
+func selfcheckClient(ctx context.Context, base string) error {
+	// fig3 at 5% scale with a wide stride is the cheapest full pipeline:
+	// two generated matrices, a few seconds of simulation.
+	job := []byte(`{"experiment": "fig3", "scale": 0.05, "stride": 16}`)
+
+	first, err := submitJob(ctx, base, job)
+	if err != nil {
+		return err
+	}
+	if first.CacheHit {
+		return fmt.Errorf("first submission reported a cache hit on a fresh daemon")
+	}
+	if err := waitDone(ctx, base, first.ID); err != nil {
+		return err
+	}
+	text1, err := fetchBody(ctx, base+"/api/v1/jobs/"+first.ID+"/result")
+	if err != nil {
+		return err
+	}
+	if len(text1) == 0 {
+		return fmt.Errorf("first run produced empty tables")
+	}
+
+	second, err := submitJob(ctx, base, job)
+	if err != nil {
+		return err
+	}
+	if !second.CacheHit {
+		return fmt.Errorf("second identical submission was not served from cache (job %s, state %s)", second.ID, second.State)
+	}
+	if second.ID == first.ID {
+		return fmt.Errorf("cache hit reused the first job id %s; every submission should get its own record", first.ID)
+	}
+	text2, err := fetchBody(ctx, base+"/api/v1/jobs/"+second.ID+"/result")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(text1, text2) {
+		return fmt.Errorf("cached tables differ from the original run (%d vs %d bytes)", len(text1), len(text2))
+	}
+	return nil
+}
+
+// submitStatus is the slice of the submit response the selfcheck needs.
+type submitStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+func submitJob(ctx context.Context, base string, body []byte) (submitStatus, error) {
+	var st submitStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return st, fmt.Errorf("submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		blob, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(blob))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("submit: decoding response: %w", err)
+	}
+	return st, nil
+}
+
+func waitDone(ctx context.Context, base, id string) error {
+	var st submitStatus
+	blob, err := fetchBody(ctx, base+"/api/v1/jobs/"+id+"/wait?timeout=110s")
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("wait: decoding status: %w", err)
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s finished in state %q, want done", id, st.State)
+	}
+	return nil
+}
+
+func fetchBody(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: reading body: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(blob))
+	}
+	return blob, nil
+}

@@ -73,6 +73,41 @@ func TestChaosAnalyticCellFaultIsolated(t *testing.T) {
 	}
 }
 
+// TestDisabledMemoisationStaysExact pins the -cachemb 0 contract: with a
+// zero-budget matrix cache the analytic path has no profile store that can
+// retain anything, so auto pricing must fall back to the exact walk rather
+// than silently re-tracing the reuse profile for every sweep cell (the
+// pre-fix behavior: profiles_built climbed once per cell while profile
+// hit counters never moved). Output stays bit-identical either way.
+func TestDisabledMemoisationStaysExact(t *testing.T) {
+	budgeted := geomConfig()
+	want := renderAll(t, "ablation-l2geom", budgeted)
+
+	builtB, _, analyticB, exactB := sim.PricingCounters()
+	off := geomConfig()
+	off.MatrixCache = sparse.NewMatrixCache(0) // -cachemb 0
+	got := renderAll(t, "ablation-l2geom", off)
+	builtA, _, analyticA, exactA := sim.PricingCounters()
+
+	if got != want {
+		t.Errorf("disabled memoisation changed the rendered ablation:\n--- budgeted ---\n%s\n--- cachemb 0 ---\n%s", want, got)
+	}
+	if built := builtA - builtB; built != 0 {
+		t.Errorf("profiles built = %d, want 0 (nothing can retain them)", built)
+	}
+	if cells := analyticA - analyticB; cells != 0 {
+		t.Errorf("cells analytic = %d, want 0 under a non-retaining store", cells)
+	}
+	wantCells := uint64(15 * off.MatrixCount())
+	if cells := exactA - exactB; cells != wantCells {
+		t.Errorf("cells exact = %d, want the whole grid (%d)", cells, wantCells)
+	}
+	st := off.MatrixCache.Stats()
+	if st.ProfileMisses != 0 || st.ProfileResident != 0 || st.ProfileUsedBytes != 0 {
+		t.Errorf("zero-budget store saw profile traffic: %+v", st)
+	}
+}
+
 // TestChaosAnalyticPreCancelledContextAborts proves cancellation holds on
 // the analytic path through the experiments layer.
 func TestChaosAnalyticPreCancelledContextAborts(t *testing.T) {

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// RunOutput is the structured result of one experiment execution - the
+// run-as-library twin of cmd/sccsim's stdout path, used by the sccsimd
+// job daemon (internal/serve) and anything else that wants rendered
+// artefacts as values instead of terminal output.
+//
+// Text and CSV contain every table (including a trailing "failed cells"
+// table when units were isolated), each rendering followed by one blank
+// line - the exact bytes cmd/sccsim -outdir persists. Both are pure
+// functions of the experiment and the result-shaping Config knobs, so
+// they are safe to cache content-addressed: the engine's determinism
+// guarantees make them bit-identical across runs, worker counts and
+// pricing auto/exact selection.
+type RunOutput struct {
+	// ID and Title identify the experiment that ran.
+	ID    string
+	Title string
+	// Tables are the rendered artefacts in emission order.
+	Tables []*stats.Table
+	// Text is the aligned fixed-width rendering of every table.
+	Text string
+	// CSV is the machine-readable rendering (tables separated by a
+	// blank line).
+	CSV string
+	// Failed counts (matrix, cell) units that were isolated into error
+	// rows instead of aborting the run (0 for a clean run).
+	Failed int
+}
+
+// ExecuteByID runs the registered experiment under cfg with Execute's
+// graceful-degradation semantics and returns structured results. The
+// error path mirrors Execute: a failing unit aborts only under FailFast
+// (or when the caller attached its own Errors log and it is nil).
+func ExecuteByID(id string, cfg Config) (*RunOutput, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	if cfg.Errors == nil && !cfg.FailFast {
+		cfg.Errors = &ErrorLog{}
+	}
+	tables, err := e.Execute(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	out := &RunOutput{ID: e.ID, Title: e.Title, Tables: tables}
+	if cfg.Errors != nil {
+		out.Failed = cfg.Errors.Len()
+	}
+	var txt, csv strings.Builder
+	for _, t := range tables {
+		txt.WriteString(t.String())
+		txt.WriteByte('\n')
+		csv.WriteString(t.CSV())
+		csv.WriteByte('\n')
+	}
+	out.Text = txt.String()
+	out.CSV = csv.String()
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+// Per-job metric scoping. The registry's counters are process-wide and
+// monotone, which is exactly right for a single experiment run but not
+// for a long-running daemon that executes many jobs against the same
+// registry: a job's report should cover what *that job* did. A
+// CounterScope captures a baseline of every counter at a point in time
+// and reports the deltas accumulated since, so a server can attach
+// "this job ran N cells, fetched M matrices, reused K profiles" to each
+// job without resetting (and thereby corrupting) the global counters.
+//
+// Deltas are computed from the shared registry, so they are exact when
+// at most one scoped activity runs at a time and an upper bound when
+// scopes overlap (concurrent jobs both observe each other's traffic).
+// Like everything in this package the scope is read-only: taking one
+// cannot change any engine output.
+
+// CounterScope is a point-in-time baseline of a registry's counters.
+type CounterScope struct {
+	reg  *Registry
+	base map[string]uint64
+}
+
+// ScopeCounters captures the current value of every registered counter
+// as the baseline for delta reporting.
+func (r *Registry) ScopeCounters() *CounterScope {
+	s := &CounterScope{reg: r, base: make(map[string]uint64)}
+	r.mu.Lock()
+	for n, c := range r.counters {
+		s.base[n] = c.Load()
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// Deltas returns every counter that advanced since the scope was taken
+// (counters registered after the baseline count from zero). The map is
+// freshly allocated; zero deltas are omitted.
+func (s *CounterScope) Deltas() map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]uint64)
+	s.reg.mu.Lock()
+	for n, c := range s.reg.counters {
+		if d := c.Load() - s.base[n]; d > 0 {
+			out[n] = d
+		}
+	}
+	s.reg.mu.Unlock()
+	return out
+}
+
+// Delta returns how far one named counter advanced since the scope was
+// taken (0 for unknown counters).
+func (s *CounterScope) Delta(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.reg.Counter(name).Load() - s.base[name]
+}
+
+// StartDetachedSpan opens a root span that is NOT retained in the
+// registry: the caller owns its lifetime and snapshots it explicitly
+// (Span.Snapshot). This is the span form of per-job scoping - a daemon
+// serving millions of jobs reports each job's trace with the job and
+// must not grow the process snapshot without bound. Returns nil when
+// recording is off, like StartSpan.
+func (r *Registry) StartDetachedSpan(name string) *Span {
+	if r.disabled.Load() {
+		return nil
+	}
+	return newSpan(name)
+}
+
+// Snapshot renders the span subtree in its JSON form (nil-safe). Spans
+// still running report their live duration.
+func (s *Span) Snapshot() *SpanSnapshot { return s.snapshot() }

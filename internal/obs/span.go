@@ -36,13 +36,17 @@ type rollupEntry struct {
 	totSec float64
 }
 
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
 // StartSpan opens a root span and tracks it in the registry so the
 // snapshot can render the trace. Returns nil when recording is off.
 func (r *Registry) StartSpan(name string) *Span {
 	if r.disabled.Load() {
 		return nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	s := newSpan(name)
 	r.mu.Lock()
 	r.spans = append(r.spans, s)
 	r.mu.Unlock()

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCanonical(t *testing.T, cfg JobConfig) JobConfig {
+	t.Helper()
+	c, err := cfg.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+func TestCanonicalFillsDefaults(t *testing.T) {
+	c := mustCanonical(t, JobConfig{Experiment: "fig3"})
+	if c.Scale != 0.25 {
+		t.Errorf("default scale = %v, want 0.25", c.Scale)
+	}
+	if c.Stride != 1 {
+		t.Errorf("default stride = %d, want 1", c.Stride)
+	}
+	if c.Pricing != "auto" {
+		t.Errorf("default pricing = %q, want auto", c.Pricing)
+	}
+	// Normalization is idempotent: canonicalizing a canonical config is
+	// the identity, so defaulted and explicit requests share one hash.
+	again := mustCanonical(t, c)
+	if again != c {
+		t.Errorf("Canonical is not idempotent: %+v vs %+v", c, again)
+	}
+	explicit := mustCanonical(t, JobConfig{Experiment: "fig3", Scale: 0.25, Stride: 1, Pricing: "auto"})
+	if explicit.Hash() != c.Hash() {
+		t.Error("defaulted and explicitly-spelled configs hash differently")
+	}
+}
+
+func TestCanonicalRejectsInvalid(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  JobConfig
+	}{
+		{"no experiment", JobConfig{}},
+		{"unknown experiment", JobConfig{Experiment: "nope"}},
+		{"scale too big", JobConfig{Experiment: "fig3", Scale: 1.5}},
+		{"negative scale", JobConfig{Experiment: "fig3", Scale: -0.1}},
+		{"negative stride", JobConfig{Experiment: "fig3", Stride: -1}},
+		{"negative max", JobConfig{Experiment: "fig3", MaxMatrices: -1}},
+		{"bad pricing", JobConfig{Experiment: "fig3", Pricing: "psychic"}},
+		{"negative parallelism", JobConfig{Experiment: "fig3", Parallelism: -1}},
+		{"negative deadline", JobConfig{Experiment: "fig3", DeadlineSec: -1}},
+	}
+	for _, tc := range bad {
+		if _, err := tc.cfg.Canonical(); err == nil {
+			t.Errorf("%s: Canonical accepted %+v", tc.name, tc.cfg)
+		}
+	}
+}
+
+// TestHashExcludesEngineKnobs pins the content-address contract:
+// Parallelism and DeadlineSec shape execution, never the result bytes,
+// so they must not split the cache.
+func TestHashExcludesEngineKnobs(t *testing.T) {
+	base := mustCanonical(t, JobConfig{Experiment: "fig3", Scale: 0.05, Stride: 16})
+	par := mustCanonical(t, JobConfig{Experiment: "fig3", Scale: 0.05, Stride: 16, Parallelism: 7, DeadlineSec: 3})
+	if base.Hash() != par.Hash() {
+		t.Errorf("parallelism/deadline changed the hash:\n%s\n%s", base.Key(), par.Key())
+	}
+
+	// Every result-shaping knob must split it.
+	variants := []JobConfig{
+		{Experiment: "fig5", Scale: 0.05, Stride: 16},
+		{Experiment: "fig3", Scale: 0.1, Stride: 16},
+		{Experiment: "fig3", Scale: 0.05, Stride: 8},
+		{Experiment: "fig3", Scale: 0.05, Stride: 16, MaxMatrices: 1},
+		{Experiment: "fig3", Scale: 0.05, Stride: 16, Pricing: "exact"},
+		{Experiment: "fig3", Scale: 0.05, Stride: 16, FailFast: true},
+	}
+	seen := map[string]string{base.Hash(): base.Key()}
+	for _, v := range variants {
+		c := mustCanonical(t, v)
+		if prev, dup := seen[c.Hash()]; dup {
+			t.Errorf("distinct configs collide:\n%s\n%s", prev, c.Key())
+		}
+		seen[c.Hash()] = c.Key()
+	}
+}
+
+func TestKeyIsVersioned(t *testing.T) {
+	c := mustCanonical(t, JobConfig{Experiment: "fig3"})
+	if !strings.HasPrefix(c.Key(), "sccsimd-job/v1|") {
+		t.Errorf("key %q lacks the schema-version prefix", c.Key())
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Result-store observability (internal/obs, write-only).
+var (
+	storeHits      = obs.Default.Counter("serve.store.hits")
+	storeMisses    = obs.Default.Counter("serve.store.misses")
+	storeEvictions = obs.Default.Counter("serve.store.evictions")
+	storeUsed      = obs.Default.Gauge("serve.store.used_bytes")
+	storeResident  = obs.Default.Gauge("serve.store.resident")
+)
+
+// Result is one finished experiment execution in its cacheable form:
+// the exact bytes any client fetching this content address receives.
+// Results are immutable once stored - the determinism contract makes a
+// regenerated result bit-identical, so there is never a reason to
+// replace one.
+type Result struct {
+	// Hash is the content address (JobConfig.Hash).
+	Hash string `json:"hash"`
+	// Experiment and Title identify what ran.
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	// Tables counts the rendered tables (including a trailing failed-
+	// cells table when units were isolated); Failed the isolated units.
+	Tables int `json:"tables"`
+	Failed int `json:"failed_cells"`
+	// Text and CSV are the rendered artefacts (experiments.RunOutput).
+	Text []byte `json:"-"`
+	CSV  []byte `json:"-"`
+}
+
+func (r *Result) sizeBytes() int64 {
+	return int64(len(r.Text) + len(r.CSV) + len(r.Hash) + len(r.Experiment) + len(r.Title) + 64)
+}
+
+// ResultStore is the content-addressed cache of finished results: a
+// byte-budgeted LRU keyed by config hash, the same shape as the matrix
+// cache but for rendered artefacts. A non-positive budget disables
+// retention (every lookup misses; the daemon then recomputes - correct,
+// just slow).
+type ResultStore struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recently used; values are *storeEntry
+	byHash map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type storeEntry struct {
+	hash string
+	res  *Result
+}
+
+// NewResultStore builds a store keeping at most budgetBytes of rendered
+// results resident.
+func NewResultStore(budgetBytes int64) *ResultStore {
+	return &ResultStore{
+		budget: budgetBytes,
+		lru:    list.New(),
+		byHash: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the result stored under the content address, refreshing
+// its LRU position.
+func (s *ResultStore) Get(hash string) (*Result, bool) {
+	s.mu.Lock()
+	if el, ok := s.byHash[hash]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		r := el.Value.(*storeEntry).res
+		s.mu.Unlock()
+		storeHits.Add(1)
+		return r, true
+	}
+	s.misses++
+	s.mu.Unlock()
+	storeMisses.Add(1)
+	return nil, false
+}
+
+// peek returns the result without touching the LRU order or the
+// hit/miss counters - status polling must not skew cache-effectiveness
+// accounting or keep entries artificially hot.
+func (s *ResultStore) peek(hash string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byHash[hash]; ok {
+		return el.Value.(*storeEntry).res, true
+	}
+	return nil, false
+}
+
+// Put stores a result under its content address, evicting LRU results
+// to respect the byte budget. The first copy wins on a duplicate hash
+// (bit-identical by the determinism contract, so nothing is lost).
+// Results larger than the whole budget are not retained.
+func (s *ResultStore) Put(r *Result) {
+	size := r.sizeBytes()
+	s.mu.Lock()
+	if el, ok := s.byHash[r.Hash]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	if size > s.budget {
+		s.mu.Unlock()
+		return
+	}
+	var evicted uint64
+	for s.used+size > s.budget {
+		back := s.lru.Back()
+		ent := back.Value.(*storeEntry)
+		s.lru.Remove(back)
+		delete(s.byHash, ent.hash)
+		s.used -= ent.res.sizeBytes()
+		s.evictions++
+		evicted++
+	}
+	s.byHash[r.Hash] = s.lru.PushFront(&storeEntry{hash: r.Hash, res: r})
+	s.used += size
+	used, resident := s.used, s.lru.Len()
+	s.mu.Unlock()
+	storeEvictions.Add(evicted)
+	storeUsed.Set(used)
+	storeResident.Set(int64(resident))
+}
+
+// StoreStats is a point-in-time snapshot of store effectiveness.
+type StoreStats struct {
+	Hits, Misses, Evictions uint64
+	Resident                int
+	UsedBytes, BudgetBytes  int64
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *ResultStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Evictions:   s.evictions,
+		Resident:    s.lru.Len(),
+		UsedBytes:   s.used,
+		BudgetBytes: s.budget,
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func storeResult(hash string, bytes int) *Result {
+	return &Result{Hash: hash, Experiment: "fig3", Title: "t", Text: make([]byte, bytes)}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	one := storeResult("a", 0).sizeBytes()
+	s := NewResultStore(3 * one)
+	s.Put(storeResult("a", 0))
+	s.Put(storeResult("b", 0))
+	s.Put(storeResult("c", 0))
+	if _, ok := s.Get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a missing before any eviction")
+	}
+	s.Put(storeResult("d", 0))
+	if _, ok := s.Get("b"); ok {
+		t.Error("b survived; LRU order ignored the Get refresh")
+	}
+	for _, h := range []string{"a", "c", "d"} {
+		if _, ok := s.Get(h); !ok {
+			t.Errorf("%s evicted, want resident", h)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Resident != 3 {
+		t.Errorf("stats = %+v, want 1 eviction, 3 resident", st)
+	}
+}
+
+func TestStoreOversizeAndDuplicate(t *testing.T) {
+	s := NewResultStore(1 << 10)
+	s.Put(storeResult("big", 2<<10))
+	if _, ok := s.Get("big"); ok {
+		t.Error("result larger than the whole budget was retained")
+	}
+
+	first := storeResult("x", 8)
+	s.Put(first)
+	dup := storeResult("x", 8)
+	s.Put(dup)
+	got, ok := s.Get("x")
+	if !ok || got != first {
+		t.Error("duplicate Put replaced the first copy; first-copy-wins is the contract")
+	}
+	if st := s.Stats(); st.Resident != 1 {
+		t.Errorf("resident = %d after duplicate Put, want 1", st.Resident)
+	}
+}
+
+func TestStoreZeroBudgetRetainsNothing(t *testing.T) {
+	s := NewResultStore(0)
+	s.Put(storeResult("a", 0))
+	if _, ok := s.Get("a"); ok {
+		t.Error("zero-budget store retained a result")
+	}
+}
+
+// TestStorePeekLeavesAccountingAlone pins the status-polling contract:
+// peek must neither count as a hit/miss nor refresh recency, or every
+// progress poll would distort cache-effectiveness metrics and pin jobs
+// being watched.
+func TestStorePeekLeavesAccountingAlone(t *testing.T) {
+	one := storeResult("a", 0).sizeBytes()
+	s := NewResultStore(2 * one)
+	s.Put(storeResult("a", 0))
+	s.Put(storeResult("b", 0))
+	for i := 0; i < 10; i++ { // heavy polling of the LRU entry
+		if _, ok := s.peek("a"); !ok {
+			t.Fatal("peek lost a resident result")
+		}
+		if _, ok := s.peek("missing"); ok {
+			t.Fatal("peek invented a result")
+		}
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("peek moved the counters: %+v", st)
+	}
+	s.Put(storeResult("c", 0)) // must evict a (oldest Put), not b
+	if _, ok := s.peek("a"); ok {
+		t.Error("peek refreshed recency: a survived eviction")
+	}
+	if _, ok := s.peek("b"); !ok {
+		t.Error("b evicted instead of the peeked-but-older a")
+	}
+}
+
+func TestStoreBudgetRespected(t *testing.T) {
+	s := NewResultStore(4 << 10)
+	for i := 0; i < 64; i++ {
+		s.Put(storeResult(fmt.Sprintf("h%02d", i), 256))
+	}
+	st := s.Stats()
+	if st.UsedBytes > st.BudgetBytes {
+		t.Errorf("used %d exceeds budget %d", st.UsedBytes, st.BudgetBytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("64 oversubscribed puts evicted nothing")
+	}
+}

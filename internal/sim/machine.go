@@ -168,8 +168,10 @@ type Options struct {
 	// Profiles is the store analytic pricing persists stream profiles in
 	// (the experiments layer passes its matrix cache, so profiles live
 	// beside the matrices they were traced from under one byte budget).
-	// nil disables persistence: auto mode then stays exact, while forced
-	// analytic builds a throwaway profile per call.
+	// A nil store - or one that cannot retain blobs (zero byte or blob
+	// budget, e.g. -cachemb 0) - disables persistence: auto mode then
+	// stays exact instead of re-tracing the profile per cell, while
+	// forced analytic builds a throwaway profile per call.
 	Profiles *sparse.MatrixCache
 }
 

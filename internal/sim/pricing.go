@@ -40,9 +40,10 @@ type Pricing int
 
 const (
 	// PricingAuto (the default) uses the analytic path only when it is
-	// provably identical to the exact walk AND a profile store is
-	// available; otherwise it runs the exact simulator. Output is always
-	// bit-identical to PricingExact.
+	// provably identical to the exact walk AND a profile store that can
+	// retain profiles is available (a zero-budget store would force a
+	// fresh trace per cell); otherwise it runs the exact simulator.
+	// Output is always bit-identical to PricingExact.
 	PricingAuto Pricing = iota
 	// PricingExact always runs the per-access hierarchy walk.
 	PricingExact
@@ -150,7 +151,14 @@ func (m *Machine) usesAnalytic(opts *Options, xProvided bool) (bool, error) {
 	case PricingExact:
 		return false, nil
 	case PricingAuto:
-		return opts.Profiles != nil && m.analyticExact() && m.analyticBlocker(xProvided) == "", nil
+		// The store must actually RETAIN profiles, not merely exist: with
+		// memoisation disabled (-cachemb 0, or a zero blob budget) PutBlob
+		// is a no-op, so going analytic would silently rebuild the reuse
+		// profile for every sweep cell - strictly slower than the exact
+		// walk it replaces. Auto stays exact there; forcing PricingAnalytic
+		// against a non-retaining store remains available (each call then
+		// knowingly builds a throwaway profile).
+		return opts.Profiles.RetainsBlobs() && m.analyticExact() && m.analyticBlocker(xProvided) == "", nil
 	case PricingAnalytic:
 		if reason := m.analyticBlocker(xProvided); reason != "" {
 			return false, fmt.Errorf("sim: analytic pricing unavailable: %s", reason)

@@ -45,13 +45,22 @@ var (
 // persists alongside the matrices they were traced from. Blobs live in
 // the SAME LRU list and byte budget as matrices - one resident-bytes
 // bound governs both - but their hit/miss/eviction traffic is accounted
-// separately (profile_* counters, CacheStats.Profile* fields).
+// separately (profile_* counters, CacheStats.Profile* fields), and
+// their total resident bytes are additionally capped by a blob budget
+// (a quarter of the byte budget by default, see SetBlobBudget): at
+// -scale 1.0 a single cell profile runs to hundreds of megabytes, and
+// without the cap a geometry sweep's profiles would evict every
+// resident matrix and thrash the cache it is supposed to accelerate.
+// Inserting a blob therefore evicts least-recently-used BLOBS first
+// until the blob side fits its own budget, and only then competes with
+// matrices for the shared bound.
 type MatrixCache struct {
-	mu     sync.Mutex
-	budget int64
-	used   int64
-	lru    *list.List // front = most recently used; values are *cacheEntry
-	byKey  map[any]*list.Element
+	mu         sync.Mutex
+	budget     int64
+	blobBudget int64
+	used       int64
+	lru        *list.List // front = most recently used; values are *cacheEntry
+	byKey      map[any]*list.Element
 
 	hits, misses, evictions uint64
 	// dupGens counts generations that lost a concurrent-miss race on the
@@ -94,13 +103,47 @@ func (e *cacheEntry) isBlob() bool {
 
 // NewMatrixCache builds a cache that keeps at most budgetBytes of CSR data
 // resident. A non-positive budget disables retention entirely: Get still
-// works but always regenerates (the determinism/debugging oracle).
+// works but always regenerates (the determinism/debugging oracle). Side
+// blobs (profiles) are additionally capped at a quarter of the budget;
+// SetBlobBudget tunes that.
 func NewMatrixCache(budgetBytes int64) *MatrixCache {
 	return &MatrixCache{
-		budget: budgetBytes,
-		lru:    list.New(),
-		byKey:  make(map[any]*list.Element),
+		budget:     budgetBytes,
+		blobBudget: budgetBytes / 4,
+		lru:        list.New(),
+		byKey:      make(map[any]*list.Element),
 	}
+}
+
+// SetBlobBudget caps the total resident bytes of side blobs (profiles)
+// at b, clamped to the overall byte budget. 0 disables blob retention
+// while leaving matrix memoisation intact. Lowering the budget below
+// the current blob usage takes effect lazily at the next PutBlob.
+func (c *MatrixCache) SetBlobBudget(b int64) {
+	c.mu.Lock()
+	if b > c.budget {
+		b = c.budget
+	}
+	if b < 0 {
+		b = 0
+	}
+	c.blobBudget = b
+	c.mu.Unlock()
+}
+
+// RetainsBlobs reports whether PutBlob can retain anything at all: both
+// the overall byte budget and the blob budget must be positive. Safe on
+// a nil cache (false). The analytic pricing path (internal/sim) uses
+// this to decide whether a profile store is worth tracing for: against
+// a non-retaining store, auto mode stays exact instead of silently
+// rebuilding the reuse profile for every sweep cell.
+func (c *MatrixCache) RetainsBlobs() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget > 0 && c.blobBudget > 0
 }
 
 // generate resolves the generation function.
@@ -215,13 +258,38 @@ func (c *MatrixCache) GetBlob(key string) (any, bool) {
 	return nil, false
 }
 
-// PutBlob stores a side blob of the given size under key, evicting LRU
-// entries (matrices or blobs alike) to respect the shared byte budget.
-// When the key is already resident - e.g. two cells of a geometry sweep
-// built the same profile concurrently - the first copy wins so every
-// caller shares one instance. Blobs larger than the whole budget (or any
-// blob when the budget is non-positive) are not retained. Safe on a nil
-// cache (no-op).
+// evictBlobsUntil drops least-recently-used BLOB entries (skipping
+// matrices) until size more blob bytes fit the blob budget; callers
+// hold the lock. Returns the number of blobs evicted.
+func (c *MatrixCache) evictBlobsUntil(size int64) (blob uint64) {
+	for el := c.lru.Back(); el != nil && c.profUsed+size > c.blobBudget; {
+		prev := el.Prev()
+		ent := el.Value.(*cacheEntry)
+		if ent.isBlob() {
+			c.lru.Remove(el)
+			delete(c.byKey, ent.key)
+			c.used -= ent.size
+			c.profEvictions++
+			c.profUsed -= ent.size
+			c.profResident--
+			blob++
+		}
+		el = prev
+	}
+	return blob
+}
+
+// PutBlob stores a side blob of the given size under key. Capacity is
+// blob-aware: least-recently-used blobs are evicted first until the
+// blob side fits its own budget (SetBlobBudget; a quarter of the byte
+// budget by default), then LRU entries of either kind go until the
+// shared byte budget holds. Blobs can therefore never occupy more than
+// the blob budget in aggregate - a flood of large profiles cannot evict
+// every resident matrix. When the key is already resident - e.g. two
+// cells of a geometry sweep built the same profile concurrently - the
+// first copy wins so every caller shares one instance. Blobs larger
+// than the blob budget (or any blob when either budget is
+// non-positive) are not retained. Safe on a nil cache (no-op).
 func (c *MatrixCache) PutBlob(key string, v any, size int64) {
 	if c == nil || v == nil {
 		return
@@ -236,11 +304,13 @@ func (c *MatrixCache) PutBlob(key string, v any, size int64) {
 		c.mu.Unlock()
 		return
 	}
-	if size > c.budget {
+	if size > c.budget || size > c.blobBudget {
 		c.mu.Unlock()
 		return
 	}
+	evictedBlobsFirst := c.evictBlobsUntil(size)
 	evicted, evictedBlobs := c.evictUntil(size)
+	evictedBlobs += evictedBlobsFirst
 	c.byKey[k] = c.lru.PushFront(&cacheEntry{key: k, blob: v, size: size})
 	c.used += size
 	c.profUsed += size
@@ -270,10 +340,12 @@ type CacheStats struct {
 	UsedBytes, BudgetBytes int64
 	// Profile (blob side-store) traffic, disjoint from the matrix
 	// counters above. ProfileUsedBytes is included in UsedBytes: one
-	// budget governs both kinds.
+	// budget governs both kinds, but blobs are additionally capped at
+	// ProfileBudgetBytes in aggregate.
 	ProfileHits, ProfileMisses, ProfileEvictions uint64
 	ProfileResident                              int
 	ProfileUsedBytes                             int64
+	ProfileBudgetBytes                           int64
 }
 
 // Stats returns a snapshot of the cache counters. Safe on a nil cache.
@@ -297,5 +369,6 @@ func (c *MatrixCache) Stats() CacheStats {
 		ProfileEvictions:     c.profEvictions,
 		ProfileResident:      c.profResident,
 		ProfileUsedBytes:     c.profUsed,
+		ProfileBudgetBytes:   c.blobBudget,
 	}
 }

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -353,8 +354,12 @@ func TestProfileBlobRoundTripAndAccounting(t *testing.T) {
 
 // Profile entries share the byte budget with matrices: inserting blobs
 // must evict in strict LRU order across both kinds and never overflow.
+// (The blob budget is raised to the full byte budget so this test pins
+// the shared-LRU ordering, not the blob cap - see
+// TestProfileBlobBudgetCapsEvictionOfMatrices for the cap.)
 func TestProfileBlobBudgetAndEvictionOrder(t *testing.T) {
 	c := NewMatrixCache(1000)
+	c.SetBlobBudget(1000)
 	c.PutBlob("a", "A", 400)
 	c.PutBlob("b", "B", 400)
 	c.GetBlob("a") // b is now LRU
@@ -384,6 +389,7 @@ func TestProfileBlobEvictsAcrossKinds(t *testing.T) {
 	m1 := e1.GenerateScaled(0.1)
 	budget := m1.SizeBytes() + 500
 	c := NewMatrixCache(budget)
+	c.SetBlobBudget(budget)
 	c.Get(e1, 0.1)
 	c.PutBlob("p", "P", 400)
 	if kinds := residentKinds(c); len(kinds) != 2 || kinds[0] != "b" || kinds[1] != "m" {
@@ -429,6 +435,63 @@ func TestProfileBlobOversizeAndDisabled(t *testing.T) {
 	nilCache.PutBlob("p", "P", 1)
 	if _, ok := nilCache.GetBlob("p"); ok {
 		t.Fatal("nil cache returned a blob")
+	}
+}
+
+// The blob budget caps aggregate profile bytes at a fraction of the
+// byte budget (a quarter by default): a flood of large profiles - the
+// -scale 1.0 failure mode, where one cell profile runs to hundreds of
+// megabytes - must never evict every resident matrix.
+func TestProfileBlobBudgetCapsEvictionOfMatrices(t *testing.T) {
+	e1, e2 := testEntry(t, "lhr04"), testEntry(t, "nc5")
+	m1, m2 := e1.GenerateScaled(0.1), e2.GenerateScaled(0.1)
+	budget := 2 * (m1.SizeBytes() + m2.SizeBytes())
+	c := NewMatrixCache(budget)
+	c.Get(e1, 0.1)
+	c.Get(e2, 0.1)
+
+	// A single profile bigger than the blob budget is not retained at all
+	// (before the fix it was, evicting matrices to make room).
+	c.PutBlob("huge", "H", budget/4+1)
+	st := c.Stats()
+	if st.ProfileResident != 0 {
+		t.Fatalf("blob above the blob budget was retained: %+v", st)
+	}
+	if st.Resident != 2 {
+		t.Fatalf("oversized blob evicted matrices: %+v", st)
+	}
+
+	// A stream of budget-respecting profiles displaces older PROFILES,
+	// not the resident matrices: aggregate blob bytes stay under the blob
+	// budget and both matrices survive.
+	blobSize := budget / 8
+	for i := 0; i < 10; i++ {
+		c.PutBlob(fmt.Sprintf("p%d", i), "P", blobSize)
+	}
+	st = c.Stats()
+	if st.ProfileUsedBytes > st.ProfileBudgetBytes {
+		t.Fatalf("blob bytes exceed the blob budget: %+v", st)
+	}
+	if st.Resident != 2 {
+		t.Fatalf("profile flood evicted matrices (%d resident, want 2): %+v", st.Resident, st)
+	}
+	if st.ProfileEvictions == 0 {
+		t.Fatalf("expected older profiles to be evicted for newer ones: %+v", st)
+	}
+	// SetBlobBudget(0) disables blob retention without touching matrices.
+	c.SetBlobBudget(0)
+	c.PutBlob("post", "P", 1)
+	if _, ok := c.GetBlob("post"); ok {
+		t.Fatal("zero blob budget retained a blob")
+	}
+	if c.RetainsBlobs() {
+		t.Fatal("RetainsBlobs must be false at zero blob budget")
+	}
+	if NewMatrixCache(0).RetainsBlobs() {
+		t.Fatal("zero-budget cache claims to retain blobs")
+	}
+	if !NewMatrixCache(1 << 20).RetainsBlobs() {
+		t.Fatal("budgeted cache must retain blobs")
 	}
 }
 
