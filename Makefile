@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke serve-smoke sccvet fmt-check ci clean
+.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke serve-smoke sccvet sccvet-json fmt-check ci clean
 
 all: build
 
@@ -11,18 +11,29 @@ build:
 	$(GO) build ./...
 
 # check is the tier-1 gate: formatting, go vet, the repo's own static
-# analyzers (cmd/sccvet), and the full test suite. The tree must be
-# sccvet-clean: every surviving suppression carries a
-# "//sccvet:allow <analyzer> <reason>" directive.
+# analyzers (cmd/sccvet, all ten: the v1 determinism/concurrency/geometry
+# suite plus the v2 flow-aware service-era suite), and the full test
+# suite. The tree must be sccvet-clean: every surviving suppression
+# carries a "//sccvet:allow <analyzer> <reason>" directive AND suppresses
+# something (stale directives are findings).
 check: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/sccvet ./...
 	$(GO) test ./...
 
 # sccvet runs only the custom invariant analyzers (determinism,
-# concurrency, cache geometry, atomic consistency, result aliasing).
+# concurrency, cache geometry, atomic consistency, result aliasing, hash
+# coverage, ctx propagation, error discard, counter drift,
+# lock-across-blocking).
 sccvet:
 	$(GO) run ./cmd/sccvet ./...
+
+# sccvet-json records the machine-readable findings report
+# (schema sccvet-findings/1); ci archives it next to the test logs.
+sccvet-json:
+	$(GO) run ./cmd/sccvet -json ./... > /tmp/sccvet.json || \
+		{ cat /tmp/sccvet.json; exit 1; }
+	@echo "sccvet findings report written to /tmp/sccvet.json"
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -38,7 +49,7 @@ test:
 # a single-CPU host, so the timeout is raised explicitly.
 race:
 	$(GO) vet ./...
-	$(GO) test -race -timeout 30m ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv ./internal/serve
+	$(GO) test -race -timeout 30m ./internal/sim ./internal/experiments ./internal/rcce ./internal/spmv ./internal/serve ./internal/lint
 
 # chaos runs the fault-injection suite (internal/fault plans driven
 # through the RCCE watchdog and the experiment engine's error isolation)
@@ -48,11 +59,12 @@ chaos:
 	$(GO) test -race -timeout 10m -run 'Chaos' ./internal/rcce ./internal/experiments ./internal/serve
 	$(GO) test -race -timeout 10m ./internal/fault ./internal/obs
 
-# ci is the full pre-merge pipeline: the check gate, the race detector
-# over the host-concurrent packages, the chaos suite, the bench smoke
-# (which exercises all three engine legs end to end), and the daemon
-# smoke (which exercises the job API and result cache over real HTTP).
-ci: check race chaos bench-smoke serve-smoke
+# ci is the full pre-merge pipeline: the check gate, the recorded sccvet
+# findings report, the race detector over the host-concurrent packages,
+# the chaos suite, the bench smoke (which exercises all three engine legs
+# end to end), and the daemon smoke (which exercises the job API and
+# result cache over real HTTP).
+ci: check sccvet-json race chaos bench-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem

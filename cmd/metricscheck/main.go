@@ -9,27 +9,22 @@
 //
 //	metricscheck file.json [counter ...]
 //
-// With no counter arguments the default engine set is required.
+// With no counter arguments the default engine set
+// (obs.RequiredEngineCounters) is required. Every metric name in the
+// snapshot must also be declared in the obs schema table - the same
+// table sccvet's counter-drift analyzer enforces at registration sites -
+// so a name cannot drift past one gate and into the other.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/obs"
 )
-
-// defaultRequired is the counter set every engine run must produce.
-var defaultRequired = []string{
-	"sim.flops.simulated",
-	"sim.sweep.runs",
-	"sim.ue_walk.tasks",
-	"experiments.cell.tasks",
-	"experiments.matrix.visits",
-	"sparse.matrix_cache.misses",
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -39,7 +34,7 @@ func main() {
 	path := os.Args[1]
 	required := os.Args[2:]
 	if len(required) == 0 {
-		required = defaultRequired
+		required = obs.RequiredEngineCounters()
 	}
 
 	blob, err := os.ReadFile(path)
@@ -62,6 +57,36 @@ func main() {
 	}
 	if len(missing) > 0 {
 		fail("%s: required counters zero or absent: %s", path, strings.Join(missing, ", "))
+	}
+
+	// Every name in the snapshot must be declared in the schema table; an
+	// unknown name means a registration site escaped the counter-drift vet
+	// gate (or the table is stale - either way the namespace has forked).
+	var undeclared []string
+	for name := range snap.Counters {
+		if !obs.KnownMetricName(name) {
+			undeclared = append(undeclared, name+" (counter)")
+		}
+	}
+	for name := range snap.Gauges {
+		if !obs.KnownMetricName(name) {
+			undeclared = append(undeclared, name+" (gauge)")
+		}
+	}
+	for name := range snap.Timers {
+		if !obs.KnownMetricName(name) {
+			undeclared = append(undeclared, name+" (timer)")
+		}
+	}
+	for name := range snap.Samples {
+		if !obs.KnownMetricName(name) {
+			undeclared = append(undeclared, name+" (sample)")
+		}
+	}
+	if len(undeclared) > 0 {
+		sort.Strings(undeclared)
+		fail("%s: metric names absent from the declared schema (internal/obs/names.go): %s",
+			path, strings.Join(undeclared, ", "))
 	}
 
 	// The engine must also have sampled pool occupancy and at least one

@@ -1,20 +1,23 @@
 // Command sccvet runs the repo's custom static-analysis suite (see
-// internal/lint): five analyzers enforcing the simulator's determinism,
-// concurrency and cache-geometry invariants at vet time. It is wired into
-// `make check`, so the tree must stay sccvet-clean.
+// internal/lint): ten analyzers enforcing the simulator's determinism,
+// concurrency, cache-geometry and service-era invariants at vet time. It
+// is wired into `make check`, so the tree must stay sccvet-clean.
 //
 // Usage:
 //
-//	sccvet [-list] [-run name[,name...]] [packages]
+//	sccvet [-list] [-json] [-run name[,name...]] [packages]
 //
 // Package patterns are directories relative to the module root; a
 // trailing /... analyzes the subtree. With no patterns (or ./...) the
-// whole module is analyzed. Exit status is 1 when findings remain after
-// //sccvet:allow suppression.
+// whole module is analyzed. -json emits machine-readable findings
+// (schema sccvet-findings/1) on stdout instead of text; `make ci`
+// records that output next to the test log. Exit status is 1 when
+// findings remain after //sccvet:allow suppression.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +27,30 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is one finding in -json output, with the file position
+// split out and the path module-relative, so CI tooling can link sites
+// without parsing the text format.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document: schema-tagged like the obs metrics
+// snapshots, findings sorted the same way the text output prints them.
+type jsonReport struct {
+	Schema   string        `json:"schema"`
+	Packages int           `json:"packages"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+const jsonSchema = "sccvet-findings/1"
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON (schema "+jsonSchema+")")
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
@@ -35,7 +60,7 @@ func main() {
 		}
 		return
 	}
-	enabled := map[string]bool{}
+	var run []string
 	if *runFlag != "" {
 		for _, n := range strings.Split(*runFlag, ",") {
 			n = strings.TrimSpace(n)
@@ -45,7 +70,7 @@ func main() {
 			if !contains(lint.AnalyzerNames(), n) {
 				fatalf("unknown analyzer %q (use -list)", n)
 			}
-			enabled[n] = true
+			run = append(run, n)
 		}
 	}
 
@@ -75,18 +100,35 @@ func main() {
 	}
 
 	conf := lint.DefaultConfig()
-	bad := 0
+	conf.Run = run
+	var all []lint.Finding
 	for _, pkg := range pkgs {
-		for _, f := range lint.RunPackage(conf, pkg) {
-			if len(enabled) > 0 && !enabled[f.Analyzer] && f.Analyzer != "sccvet" {
-				continue
-			}
-			bad++
+		all = append(all, lint.RunPackage(conf, pkg)...)
+	}
+
+	if *jsonFlag {
+		rep := jsonReport{Schema: jsonSchema, Packages: len(pkgs), Findings: []jsonFinding{}}
+		for _, f := range all {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     rel(root, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, f := range all {
 			fmt.Println(rel(root, f.String()))
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "sccvet: %d finding(s)\n", bad)
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "sccvet: %d finding(s)\n", len(all))
 		os.Exit(1)
 	}
 }

@@ -116,7 +116,7 @@ type Config struct {
 // context resolves the Ctx knob (nil means Background).
 func (c Config) context() context.Context {
 	if c.Ctx == nil {
-		return context.Background()
+		return context.Background() //sccvet:allow ctx-propagation documented nil-means-Background fallback for the Config knob
 	}
 	return c.Ctx
 }

@@ -6,9 +6,11 @@ import (
 )
 
 // TestLiveTreeIsSccvetClean is the meta-test behind `make check`: the
-// whole module must satisfy every analyzer under the production config,
-// with any remaining suppression carrying a //sccvet:allow reason. A
-// failure here means a determinism, concurrency or geometry invariant
+// whole module must satisfy every analyzer - the v1 determinism/
+// concurrency/geometry suite and the v2 flow-aware service-era suite -
+// under the production config, with any remaining suppression carrying a
+// //sccvet:allow reason and actually suppressing something (stale
+// directives are findings too). A failure here means an invariant
 // regressed - fix the code, or annotate the site with its justification.
 func TestLiveTreeIsSccvetClean(t *testing.T) {
 	if testing.Short() {
@@ -27,9 +29,22 @@ func TestLiveTreeIsSccvetClean(t *testing.T) {
 		t.Fatalf("loaded only %d packages from %s; loader lost part of the tree", len(pkgs), root)
 	}
 	conf := DefaultConfig()
+	ran := map[string]bool{}
 	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			if conf.enabled(a.Name) && a.applies(conf, pkg) {
+				ran[a.Name] = true
+			}
+		}
 		for _, f := range RunPackage(conf, pkg) {
 			t.Errorf("%s", f)
+		}
+	}
+	// The clean result must come from the full suite actually running, not
+	// from scoping accidents: every analyzer must apply somewhere.
+	for _, a := range Analyzers() {
+		if !ran[a.Name] {
+			t.Errorf("analyzer %s never applied to any live package; DefaultConfig scoping is broken", a.Name)
 		}
 	}
 }

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// analyzerCounterDrift pins every metric registration site to the
+// declared name table (internal/obs/names.go). The obs registry is
+// stringly keyed: Registry.Counter("serve.jobs.complete") and
+// Registry.Counter("serve.jobs.completed") are two different metrics,
+// and the dashboard quietly reads zero from the one nobody increments.
+// The same table drives cmd/metricscheck, so a name that passes vet here
+// is also the name the metrics-smoke gate expects at runtime.
+//
+// Any Counter/Gauge/Timer/Sample/Pool call on the metrics package's
+// Registry whose name argument is a compile-time constant must resolve
+// to a declared name of the matching kind. Non-constant names cannot be
+// checked statically and are reported too: the namespace is closed by
+// design, so dynamic names belong in the table as a pool family instead.
+var analyzerCounterDrift = &Analyzer{
+	Name: "counter-drift",
+	Doc:  "flags metric registration sites whose name is absent from, or mis-kinded in, the declared metrics schema",
+	Applies: func(conf Config, pkg *Package) bool {
+		// The metrics package itself derives names internally (Pool
+		// registers <prefix>.tasks and friends); everything else is fair
+		// game.
+		return conf.MetricsPackage != "" && pkg.Path != conf.MetricsPackage
+	},
+	Run: runCounterDrift,
+}
+
+// registryKinds maps obs.Registry method names onto the schema kind the
+// registered metric must carry.
+var registryKinds = map[string]string{
+	"Counter": "counter",
+	"Gauge":   "gauge",
+	"Timer":   "timer",
+	"Sample":  "sample",
+	"Pool":    "pool",
+}
+
+func runCounterDrift(p *Pass) {
+	if p.Conf.MetricsPackage == "" || p.Path == p.Conf.MetricsPackage {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != p.Conf.MetricsPackage {
+				return true
+			}
+			kind, ok := registryKinds[callee.Name()]
+			if !ok || !isRegistryMethod(callee) {
+				return true
+			}
+			checkMetricName(p, call, callee.Name(), kind)
+			return true
+		})
+	}
+}
+
+// isRegistryMethod reports whether fn is a method on the metrics
+// package's Registry type.
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "Registry"
+}
+
+func checkMetricName(p *Pass, call *ast.CallExpr, method, kind string) {
+	arg := call.Args[0]
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(),
+			"Registry.%s called with a non-constant name: the metrics namespace is declared in the schema table, so dynamic families belong there as a pool prefix; use a declared constant name, or annotate //sccvet:allow counter-drift <reason>",
+			method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	declared, ok := p.Conf.MetricNames[name]
+	if !ok {
+		p.Reportf(arg.Pos(),
+			"metric %q is not in the declared schema (internal/obs/names.go): an undeclared name forks the namespace and cmd/metricscheck will reject the snapshot; add it to the table, or annotate //sccvet:allow counter-drift <reason>",
+			name)
+		return
+	}
+	if declared != kind {
+		p.Reportf(arg.Pos(),
+			"metric %q is declared as a %s but registered here via Registry.%s: the two consumers of the schema now disagree about its kind; fix the table or the call",
+			name, declared, method)
+	}
+}

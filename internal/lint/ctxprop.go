@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerCtxProp enforces the cancellation contract PR 4 threaded
+// through the engine: a context that stops at a function boundary is a
+// job that cannot be cancelled. Two rules:
+//
+//  1. context.Background() / context.TODO() are banned outside package
+//     main (tests are never analyzed): library code must thread the
+//     caller's context, and the deliberate nil-means-Background fallback
+//     helpers carry //sccvet:allow ctx-propagation <reason>.
+//  2. A function that accepts a context.Context must use it when fanning
+//     out: calling a callee that ignores contexts while a context-aware
+//     variant (<Name>Ctx, same receiver or package) exists drops
+//     cancellation on the floor - the exact bug class where a cancelled
+//     job keeps simulating because a ForEach was not a ForEachCtx.
+//
+// The def-use layer (flow.go aliasSet) recognises contexts derived from
+// the parameter (jctx, cancel := context.WithTimeout(ctx, d)), so message
+// 1 can distinguish "make a fresh context" from "you already have one".
+var analyzerCtxProp = &Analyzer{
+	Name: "ctx-propagation",
+	Doc:  "flags context.Background/TODO in library code and ctx-ignoring calls where a Ctx variant exists",
+	Run:  runCtxProp,
+}
+
+func runCtxProp(p *Pass) {
+	isMain := p.Pkg.Name() == "main"
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			var sig *types.Signature
+			if fn != nil {
+				sig = fn.Type().(*types.Signature)
+			}
+			ctxObj := ctxParamObject(p, fd, sig)
+			if !isMain {
+				banFreshContexts(p, fd, ctxObj != nil)
+			}
+			if ctxObj != nil {
+				checkCtxThreading(p, fd, ctxObj)
+			}
+		}
+	}
+}
+
+// ctxParamObject returns the object of the function's context.Context
+// parameter (the first one, by convention the only one), or nil.
+func ctxParamObject(p *Pass, fd *ast.FuncDecl, sig *types.Signature) types.Object {
+	if sig == nil {
+		return nil
+	}
+	i := contextParamIndex(sig)
+	if i < 0 {
+		return nil
+	}
+	obj := sig.Params().At(i)
+	if obj.Name() == "" || obj.Name() == "_" {
+		return nil
+	}
+	return obj
+}
+
+// banFreshContexts reports context.Background()/TODO() calls in the
+// function body. hasCtx sharpens the message when the function already
+// receives a context it should thread instead.
+func banFreshContexts(p *Pass, fd *ast.FuncDecl, hasCtx bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFunc(p.Info, call)
+		if !ok || path != "context" || (name != "Background" && name != "TODO") {
+			return true
+		}
+		if hasCtx {
+			p.Reportf(call.Pos(),
+				"context.%s() in %s, which already receives a context: thread the parameter (or a context derived from it) so cancellation reaches this call, or annotate //sccvet:allow ctx-propagation <reason>",
+				name, fd.Name.Name)
+		} else {
+			p.Reportf(call.Pos(),
+				"context.%s() in library function %s: a fresh root context detaches this work from every caller's cancellation; accept a ctx parameter instead, or annotate //sccvet:allow ctx-propagation <reason>",
+				name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkCtxThreading flags calls, inside a context-accepting function,
+// to callees that take no context while a context-aware variant of the
+// same name exists ("<Name>Ctx" on the same receiver type or in the same
+// package).
+func checkCtxThreading(p *Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	derived := aliasSet(p.Info, fd.Body, map[types.Object]bool{ctxObj: true})
+	_ = derived // the alias set feeds the message below; see ctxArgDerived
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Goroutine bodies still capture ctx lexically, so descend.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || contextParamIndex(sig) >= 0 {
+			return true
+		}
+		variant := ctxVariantOf(callee)
+		if variant == nil {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"%s receives a context but calls %s, which ignores it, while %s accepts one: cancellation stops here; call the Ctx variant with %s (or a context derived from it), or annotate //sccvet:allow ctx-propagation <reason>",
+			fd.Name.Name, callee.Name(), variant.Name(), ctxObj.Name())
+		return true
+	})
+}
+
+// ctxVariantOf looks for a context-accepting sibling of the callee named
+// "<Name>Ctx": a method on the same receiver type, or a function in the
+// same package scope.
+func ctxVariantOf(callee *types.Func) *types.Func {
+	want := callee.Name() + "Ctx"
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil {
+			return nil
+		}
+		m := lookupMethod(named, want)
+		if m == nil {
+			return nil
+		}
+		msig, ok := m.Type().(*types.Signature)
+		if ok && contextParamIndex(msig) >= 0 {
+			return m
+		}
+		return nil
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	fn, ok := pkg.Scope().Lookup(want).(*types.Func)
+	if !ok {
+		return nil
+	}
+	fsig, ok := fn.Type().(*types.Signature)
+	if ok && contextParamIndex(fsig) >= 0 {
+		return fn
+	}
+	return nil
+}
+
+// namedOf unwraps pointers down to the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -17,8 +17,21 @@ import (
 // its own line above it).
 const directivePrefix = "//sccvet:allow"
 
-// suppressionSet indexes directives by (file, line, analyzer).
-type suppressionSet map[suppressionKey]bool
+// directiveRec is one well-formed //sccvet:allow directive; used flips
+// when the directive suppresses at least one finding, so RunPackage can
+// flag the stale ones.
+type directiveRec struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// suppressionSet indexes directives by (file, line, analyzer) and keeps
+// the underlying records for the unused-directive check.
+type suppressionSet struct {
+	byKey map[suppressionKey]*directiveRec
+	recs  []*directiveRec
+}
 
 type suppressionKey struct {
 	file     string
@@ -26,16 +39,22 @@ type suppressionKey struct {
 	analyzer string
 }
 
-// suppresses reports whether a directive covers the finding.
-func (s suppressionSet) suppresses(f Finding) bool {
-	return s[suppressionKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]
+// suppresses reports whether a directive covers the finding, marking the
+// directive used.
+func (s *suppressionSet) suppresses(f Finding) bool {
+	rec := s.byKey[suppressionKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]
+	if rec == nil {
+		return false
+	}
+	rec.used = true
+	return true
 }
 
 // directives scans every comment for //sccvet:allow lines, returning the
 // suppression index plus a finding for each malformed directive (unknown
 // analyzer or missing reason). Malformed directives never suppress.
-func directives(fset *token.FileSet, files []*ast.File) (suppressionSet, []Finding) {
-	set := suppressionSet{}
+func directives(fset *token.FileSet, files []*ast.File) (*suppressionSet, []Finding) {
+	set := &suppressionSet{byKey: map[suppressionKey]*directiveRec{}}
 	var bad []Finding
 	valid := AnalyzerNames()
 	for _, f := range files {
@@ -83,8 +102,10 @@ func directives(fset *token.FileSet, files []*ast.File) (suppressionSet, []Findi
 					})
 					continue
 				}
-				set[suppressionKey{pos.Filename, pos.Line, name}] = true
-				set[suppressionKey{pos.Filename, pos.Line + 1, name}] = true
+				rec := &directiveRec{pos: pos, analyzer: name}
+				set.recs = append(set.recs, rec)
+				set.byKey[suppressionKey{pos.Filename, pos.Line, name}] = rec
+				set.byKey[suppressionKey{pos.Filename, pos.Line + 1, name}] = rec
 			}
 		}
 	}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerErrDiscard flags dropped error results from the error-critical
+// packages: the RCCE communication layer and the fault-injection paths.
+// PR 7 made every collective and point-to-point op return an error
+// precisely so deadline expiry and injected faults surface at the call
+// site; an ignored Barrier error silently desynchronises the mesh and
+// the run "hangs" somewhere else entirely. Three discard shapes are
+// reported:
+//
+//   - a bare expression statement (ue.Barrier());
+//   - a blank assignment (_ = s.Wait()), including multi-value forms
+//     where the error position is blank;
+//   - go/defer statements whose called function returns an error the
+//     spawned call cannot deliver anywhere.
+//
+// A deliberate drain carries //sccvet:allow error-discard <reason>.
+var analyzerErrDiscard = &Analyzer{
+	Name: "error-discard",
+	Doc:  "flags dropped error results from RCCE communication and fault-injection calls",
+	Applies: func(conf Config, pkg *Package) bool {
+		return len(conf.ErrCriticalPackages) > 0
+	},
+	Run: runErrDiscard,
+}
+
+func runErrDiscard(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					reportDiscardedCall(p, call, "result discarded")
+				}
+			case *ast.GoStmt:
+				reportDiscardedCall(p, st.Call, "error lost in go statement")
+			case *ast.DeferStmt:
+				reportDiscardedCall(p, st.Call, "error lost in defer")
+			case *ast.AssignStmt:
+				checkBlankErrAssign(p, st)
+			}
+			return true
+		})
+	}
+}
+
+// reportDiscardedCall reports the call if it is an error-critical call
+// whose error result the surrounding statement cannot observe.
+func reportDiscardedCall(p *Pass, call *ast.CallExpr, how string) {
+	name, idx := errCriticalCall(p, call)
+	if name == "" || idx < 0 {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"%s returns an error that signals deadline expiry or an injected fault, but the %s: handle it, or annotate //sccvet:allow error-discard <reason>",
+		name, how)
+}
+
+// checkBlankErrAssign reports error-critical calls whose error result
+// lands in the blank identifier.
+func checkBlankErrAssign(p *Pass, as *ast.AssignStmt) {
+	// Single call on the RHS: r1, ..., rn (or just r) destructured.
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, idx := errCriticalCall(p, call)
+		if name == "" || idx < 0 {
+			return
+		}
+		pos := idx
+		if len(as.Lhs) == 1 {
+			pos = 0 // single-value context: the lone LHS receives the error
+		}
+		if pos < len(as.Lhs) && isBlank(as.Lhs[pos]) {
+			p.Reportf(call.Pos(),
+				"%s error assigned to _: deadline expiry and injected faults vanish here; handle the error, or annotate //sccvet:allow error-discard <reason>",
+				name)
+		}
+		return
+	}
+	// Parallel assignment: each RHS pairs with one LHS.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		name, idx := errCriticalCall(p, call)
+		if name == "" || idx < 0 {
+			continue
+		}
+		p.Reportf(call.Pos(),
+			"%s error assigned to _: deadline expiry and injected faults vanish here; handle the error, or annotate //sccvet:allow error-discard <reason>",
+			name)
+	}
+}
+
+// errCriticalCall reports whether the call targets an error-critical
+// package (Config.ErrCriticalPackages) and returns a display name plus
+// the index of the error result in the callee's results (-1 when the
+// callee returns no error, or is out of scope).
+func errCriticalCall(p *Pass, call *ast.CallExpr) (string, int) {
+	callee := calleeOf(p.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return "", -1
+	}
+	if !contains(p.Conf.ErrCriticalPackages, callee.Pkg().Path()) {
+		return "", -1
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return "", -1
+	}
+	idx := errorResultIndex(sig)
+	if idx < 0 {
+		return "", -1
+	}
+	name := callee.Name()
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	} else {
+		name = callee.Pkg().Name() + "." + name
+	}
+	return name, idx
+}
+
+// errorResultIndex returns the index of the last error-typed result of
+// the signature, or -1.
+func errorResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if isErrorType(res.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorIface)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The flow layer is the shared substrate of the v2 analyzers: a def-use
+// helper (which locals alias which seed values inside one function body)
+// and an intra-package static call graph (which declared function calls
+// which). Both are deliberately lightweight - stdlib go/types only, no
+// SSA - because the invariants they serve are structural:
+//
+//   - hash-coverage follows Canonical/Key through same-package helpers to
+//     prove every exported JobConfig field is read by the content hash;
+//   - ctx-propagation tracks which locals are derived from a function's
+//     context parameter;
+//   - lock-across-blocking summarises, transitively, which functions
+//     perform blocking channel/RCCE/pool operations, so a call made under
+//     a mutex is judged by what it eventually does, not just its name.
+//
+// A flowGraph is built once per Pass (lazily) and shared by every
+// analyzer that asks for it.
+type flowGraph struct {
+	// decls maps each function or method declared in the package to its
+	// syntax.
+	decls map[*types.Func]*ast.FuncDecl
+	// callees lists the statically resolved same-package call targets of
+	// each declared function, in source order (duplicates retained).
+	callees map[*types.Func][]*types.Func
+}
+
+// Flow returns the package's flow graph, building it on first use.
+func (p *Pass) Flow() *flowGraph {
+	if p.flow != nil {
+		return p.flow
+	}
+	g := &flowGraph{
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+		}
+	}
+	for fn, fd := range g.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, local := g.decls[callee]; local {
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+	}
+	p.flow = g
+	return g
+}
+
+// calleeOf statically resolves the function or method a call invokes,
+// returning nil for calls through function values, built-ins and
+// conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap generic instantiation syntax (f[T](...)).
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// reachable walks the call graph from the roots, returning every declared
+// function reachable through same-package static calls (roots included,
+// when declared locally).
+func (g *flowGraph) reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		if _, ok := g.decls[fn]; !ok {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range g.callees[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// aliasSet computes, by def-use fixpoint over the body, the set of
+// objects transitively assigned from the seeds via plain copies
+// (d := c, e = d). Only whole-value copies propagate: a binding to a
+// field or element of an alias is not itself an alias of the seed.
+func aliasSet(info *types.Info, body *ast.BlockStmt, seeds map[types.Object]bool) map[types.Object]bool {
+	set := make(map[types.Object]bool, len(seeds))
+	for o := range seeds {
+		set[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || !set[info.ObjectOf(src)] {
+					continue
+				}
+				dst, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || dst.Name == "_" {
+					continue
+				}
+				obj := info.ObjectOf(dst)
+				if obj != nil && !set[obj] {
+					set[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// contextParamIndex returns the index of the first context.Context
+// parameter of the signature, or -1.
+func contextParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+func flowPass(t *testing.T) *Pass {
+	t.Helper()
+	pkg, err := corpusLoader(t).Load("flowgraph")
+	if err != nil {
+		t.Fatalf("loading flowgraph corpus: %v", err)
+	}
+	return &Pass{
+		Conf:  Config{},
+		Fset:  pkg.Fset,
+		Path:  pkg.Path,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+		Files: pkg.Files,
+	}
+}
+
+func lookupFunc(t *testing.T, p *Pass, name string) *types.Func {
+	t.Helper()
+	if fn, ok := p.Pkg.Scope().Lookup(name).(*types.Func); ok {
+		return fn
+	}
+	t.Fatalf("function %s not found in %s", name, p.Path)
+	return nil
+}
+
+func TestFlowGraphCallees(t *testing.T) {
+	p := flowPass(t)
+	g := p.Flow()
+	if g != p.Flow() {
+		t.Error("Flow() should build once and return the cached graph")
+	}
+
+	a := lookupFunc(t, p, "A")
+	names := map[string]int{}
+	for _, callee := range g.callees[a] {
+		names[callee.Name()]++
+	}
+	if names["B"] != 1 || names["C"] != 1 {
+		t.Errorf("A's callees = %v, want B and C once each", names)
+	}
+
+	iso := lookupFunc(t, p, "Isolated")
+	if len(g.callees[iso]) != 0 {
+		t.Errorf("Isolated should call nothing, got %v", g.callees[iso])
+	}
+
+	// Calls through function values cannot be resolved statically.
+	ind := lookupFunc(t, p, "Indirect")
+	if len(g.callees[ind]) != 0 {
+		t.Errorf("Indirect's dynamic call should not resolve, got %v", g.callees[ind])
+	}
+}
+
+func TestFlowGraphMethodsAndReachability(t *testing.T) {
+	p := flowPass(t)
+	g := p.Flow()
+
+	tn := p.Pkg.Scope().Lookup("T").(*types.TypeName)
+	m := lookupMethod(tn.Type().(*types.Named), "M")
+	if m == nil {
+		t.Fatal("method M not found")
+	}
+	reach := g.reachable(m)
+	if !reach[m] {
+		t.Error("roots should be reachable from themselves")
+	}
+	helper := lookupMethod(tn.Type().(*types.Named), "helper")
+	if !reach[helper] {
+		t.Error("M should reach helper through the method call")
+	}
+
+	reach = g.reachable(lookupFunc(t, p, "A"))
+	for _, name := range []string{"A", "B", "C"} {
+		if !reach[lookupFunc(t, p, name)] {
+			t.Errorf("A should reach %s", name)
+		}
+	}
+	if reach[lookupFunc(t, p, "Isolated")] {
+		t.Error("A must not reach Isolated")
+	}
+}
+
+func TestAliasSet(t *testing.T) {
+	p := flowPass(t)
+	var chain *ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "Chain" {
+				chain = fd
+			}
+		}
+	}
+	if chain == nil {
+		t.Fatal("Chain not found")
+	}
+	fn := p.Info.Defs[chain.Name].(*types.Func)
+	param := fn.Type().(*types.Signature).Params().At(0)
+
+	set := aliasSet(p.Info, chain.Body, map[types.Object]bool{param: true})
+	got := map[string]bool{}
+	for obj := range set {
+		got[obj.Name()] = true
+	}
+	for _, name := range []string{"a", "b", "c", "e"} {
+		if !got[name] {
+			t.Errorf("alias set should contain %s (have %v)", name, got)
+		}
+	}
+	if got["d"] {
+		t.Error("d copies a field, not the whole value; it must not alias the parameter")
+	}
+}

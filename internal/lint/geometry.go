@@ -19,7 +19,10 @@ import (
 var analyzerGeometry = &Analyzer{
 	Name: "geometry-literal",
 	Doc:  "flags magic cache-line/topology constants (>>5, &31, *32, %48, ...) in address arithmetic",
-	Run:  runGeometry,
+	Applies: func(conf Config, pkg *Package) bool {
+		return contains(conf.GeometryPackages, pkg.Path)
+	},
+	Run: runGeometry,
 }
 
 // geometryHint gates the check to operands that look like address or

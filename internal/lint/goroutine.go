@@ -14,7 +14,10 @@ import "go/ast"
 var analyzerGoroutine = &Analyzer{
 	Name: "bare-goroutine",
 	Doc:  "flags go statements outside the obs worker pool",
-	Run:  runGoroutine,
+	Applies: func(conf Config, pkg *Package) bool {
+		return !contains(conf.GoroutineAllowed, pkg.Path)
+	},
+	Run: runGoroutine,
 }
 
 func runGoroutine(p *Pass) {

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerHashCoverage guards the content-addressed result cache's one
+// structural assumption: serve.JobConfig.Hash() covers every field that
+// can change a result. The hash is defined over Canonical()+Key(); a new
+// config field that neither function reads is invisible to the hash, so
+// two *different* jobs collide on one cache entry and the second client
+// silently receives the first job's bytes - a stale-hit bug no runtime
+// test catches until the exact collision occurs.
+//
+// For every contract in Config.HashContracts the analyzer computes, over
+// the intra-package call graph (flow.go), the set of target-struct fields
+// transitively read by the named functions, and reports each exported
+// field outside that set at its declaration. A field that is deliberately
+// excluded (an engine knob that provably never changes the bytes, like
+// Parallelism) carries //sccvet:allow hash-coverage <reason> on its line.
+var analyzerHashCoverage = &Analyzer{
+	Name: "hash-coverage",
+	Doc:  "flags exported config-struct fields not read (transitively) by the declared canonicalization/hash functions",
+	Applies: func(conf Config, pkg *Package) bool {
+		for _, hc := range conf.HashContracts {
+			if hc.Package == pkg.Path {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runHashCoverage,
+}
+
+// HashContract declares one content-addressing invariant: every exported
+// field of Package.Struct must be read, directly or through same-package
+// calls, by at least one of Funcs (methods of the struct or package-level
+// functions).
+type HashContract struct {
+	Package string
+	Struct  string
+	Funcs   []string
+}
+
+func runHashCoverage(p *Pass) {
+	for _, hc := range p.Conf.HashContracts {
+		if hc.Package != p.Path {
+			continue
+		}
+		checkHashContract(p, hc)
+	}
+}
+
+func checkHashContract(p *Pass, hc HashContract) {
+	obj := p.Pkg.Scope().Lookup(hc.Struct)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		p.Reportf(p.Files[0].Package,
+			"hash contract names type %s.%s, which this package does not declare",
+			hc.Package, hc.Struct)
+		return
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		p.Reportf(tn.Pos(), "hash contract target %s is not a struct type", hc.Struct)
+		return
+	}
+
+	// The contract's fields: every exported field of the struct.
+	fields := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			fields[f] = true
+		}
+	}
+
+	// Resolve the hash functions: methods of the named type first, then
+	// package-level functions.
+	var roots []*types.Func
+	for _, name := range hc.Funcs {
+		if fn := lookupMethod(named, name); fn != nil {
+			roots = append(roots, fn)
+			continue
+		}
+		if fn, ok := p.Pkg.Scope().Lookup(name).(*types.Func); ok {
+			roots = append(roots, fn)
+			continue
+		}
+		p.Reportf(tn.Pos(),
+			"hash contract for %s names %s, but the package declares no such method or function",
+			hc.Struct, name)
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	read := fieldReads(p, st, roots)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || read[f] {
+			continue
+		}
+		p.Reportf(f.Pos(),
+			"exported field %s.%s is not read by %s: a field outside the content hash makes two different jobs collide on one cached result; read it there or annotate //sccvet:allow hash-coverage <reason>",
+			hc.Struct, f.Name(), strings.Join(hc.Funcs, "/"))
+	}
+}
+
+// lookupMethod finds a method by name on the named type (value or pointer
+// receiver).
+func lookupMethod(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// fieldReads returns the struct fields read anywhere in the functions
+// reachable from roots through the intra-package call graph. A selector
+// used purely as an assignment target is a write, not a read; compound
+// assignments (+=) and read-modify uses count as reads.
+func fieldReads(p *Pass, st *types.Struct, roots []*types.Func) map[*types.Var]bool {
+	fields := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	read := map[*types.Var]bool{}
+	g := p.Flow()
+	for fn := range g.reachable(roots...) {
+		fd := g.decls[fn]
+		writes := pureWriteSelectors(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || writes[sel] {
+				return true
+			}
+			field := selectedField(p.Info, sel)
+			if field != nil && fields[field] {
+				read[field] = true
+			}
+			return true
+		})
+	}
+	return read
+}
+
+// selectedField resolves a selector expression to the struct field it
+// reads, or nil when it is not a field selection.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if s.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	// Qualified references (pkg.Var) land in Uses, not Selections; those
+	// are never struct fields.
+	return nil
+}
+
+// pureWriteSelectors collects selector expressions that appear only as
+// the direct target of a plain assignment (c.Scale = v): storing into a
+// field does not prove the hash *reads* it.
+func pureWriteSelectors(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Compound assignments (+=, &^=, ...) read the target first.
+		if as.Tok.String() != "=" && as.Tok.String() != ":=" {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		return true
+	})
+	return writes
+}

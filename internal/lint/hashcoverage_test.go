@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyModule replicates the module's non-test Go sources and go.mod into
+// dst so a test can mutate a copy of the tree without touching the repo.
+func copyModule(t *testing.T, root, dst string) {
+	t.Helper()
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		base := info.Name()
+		if base != "go.mod" && (!strings.HasSuffix(base, ".go") || strings.HasSuffix(base, "_test.go")) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, blob, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying module: %v", err)
+	}
+}
+
+// TestHashCoverageCatchesNewJobConfigField pins the acceptance criterion
+// for the content-hash contract: adding an exported JobConfig field that
+// Canonical/Key never read must fail vet at the field's declaration. The
+// test grafts a dummy field onto a scratch copy of the module and runs
+// the production config against the mutated serve package.
+func TestHashCoverageCatchesNewJobConfigField(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module copy; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := t.TempDir()
+	copyModule(t, root, scratch)
+
+	conf := DefaultConfig()
+	conf.Run = []string{"hash-coverage"}
+
+	// Control: the unmutated copy is clean, so any finding below is the
+	// dummy field's and not an artifact of copying.
+	pkg, err := NewLoader(scratch, "repro").Load(filepath.Join("internal", "serve"))
+	if err != nil {
+		t.Fatalf("loading copied serve package: %v", err)
+	}
+	for _, f := range RunPackage(conf, pkg) {
+		t.Fatalf("copied tree not clean before mutation: %s", f)
+	}
+
+	cfgPath := filepath.Join(scratch, "internal", "serve", "config.go")
+	src, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "type JobConfig struct {"
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("%s no longer declares JobConfig; update this test's anchor", cfgPath)
+	}
+	mutated := strings.Replace(string(src), anchor,
+		anchor+"\n\tDummyKnob int `json:\"dummy_knob,omitempty\"`", 1)
+	if err := os.WriteFile(cfgPath, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pkg, err = NewLoader(scratch, "repro").Load(filepath.Join("internal", "serve"))
+	if err != nil {
+		t.Fatalf("loading mutated serve package: %v", err)
+	}
+	var hits []Finding
+	for _, f := range RunPackage(conf, pkg) {
+		if f.Analyzer == "hash-coverage" && strings.Contains(f.Message, "DummyKnob") {
+			hits = append(hits, f)
+		} else {
+			t.Errorf("unexpected finding on mutated tree: %s", f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly one hash-coverage finding for DummyKnob, got %d", len(hits))
+	}
+	if !strings.Contains(hits[0].Message, "not read by Canonical/Key") {
+		t.Errorf("finding should name the contract functions: %s", hits[0].Message)
+	}
+	if filepath.Base(hits[0].Pos.Filename) != "config.go" {
+		t.Errorf("finding should anchor at the field declaration in config.go, got %s", hits[0].Pos.Filename)
+	}
+}

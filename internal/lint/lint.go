@@ -20,6 +20,21 @@
 //   - result-aliasing:    exported functions returning parameter-backed
 //     or scratch-buffer-backed slices without copying
 //
+// The v2 suite adds five flow-aware analyzers for the service-era
+// invariants, built on a shared def-use + intra-package call-graph layer
+// (flow.go):
+//
+//   - hash-coverage:        every exported serve.JobConfig field must be
+//     read, transitively, by the content-hash functions (Canonical/Key)
+//   - ctx-propagation:      contexts must thread through; Background/TODO
+//     banned in library code, Ctx-variant callees must be used
+//   - error-discard:        dropped errors from RCCE communication and
+//     fault-injection calls
+//   - counter-drift:        metric name literals must match the declared
+//     schema table (internal/obs/names.go)
+//   - lock-across-blocking: mutexes held across channel ops, RCCE calls
+//     or pool dispatch
+//
 // A finding is suppressed by a directive comment on the same line or the
 // line directly above:
 //
@@ -27,7 +42,9 @@
 //
 // The analyzer name and a non-empty reason are both mandatory; malformed
 // directives are themselves findings, so every suppression in the tree
-// carries a justification.
+// carries a justification - and a directive that suppresses nothing while
+// its analyzer is in scope is itself a finding, so suppressions cannot
+// outlive the code they excused.
 package lint
 
 import (
@@ -36,6 +53,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Config scopes the analyzers to the package sets whose invariants they
@@ -53,6 +72,35 @@ type Config struct {
 	// model's UE, progress-engine and watchdog goroutines - must justify
 	// each go statement with //sccvet:allow bare-goroutine <reason>.
 	GoroutineAllowed []string
+	// HashContracts declares the content-addressing invariants enforced
+	// by hash-coverage: for each contract, every exported field of the
+	// named struct must be read transitively by the named functions.
+	HashContracts []HashContract
+	// ErrCriticalPackages are the packages whose error results must never
+	// be discarded (error-discard): the RCCE communication layer and the
+	// fault-injection paths, where a dropped error is a silently
+	// desynchronised mesh or a swallowed injected fault.
+	ErrCriticalPackages []string
+	// MetricsPackage is the import path of the obs registry package; the
+	// counter-drift analyzer checks Registry.Counter/Gauge/Timer/Sample/
+	// Pool name arguments everywhere outside it.
+	MetricsPackage string
+	// MetricNames is the declared metric schema (name -> kind) that
+	// registration sites must match; in production this is
+	// obs.MetricSchema(), the same table cmd/metricscheck validates
+	// snapshots against.
+	MetricNames map[string]string
+	// BlockingFuncs maps package import paths to the function and method
+	// names the lock-across-blocking analyzer treats as blocking
+	// operations (in addition to channel ops and default-less selects).
+	BlockingFuncs map[string][]string
+	// Run restricts the suite to the named analyzers; empty means all.
+	Run []string
+}
+
+// enabled reports whether the analyzer participates under the Run filter.
+func (c Config) enabled(name string) bool {
+	return len(c.Run) == 0 || contains(c.Run, name)
 }
 
 // DefaultConfig returns the production configuration enforced by
@@ -76,6 +124,25 @@ func DefaultConfig() Config {
 		GoroutineAllowed: []string{
 			"repro/internal/obs",
 		},
+		HashContracts: []HashContract{{
+			Package: "repro/internal/serve",
+			Struct:  "JobConfig",
+			Funcs:   []string{"Canonical", "Key"},
+		}},
+		ErrCriticalPackages: []string{
+			"repro/internal/rcce",
+			"repro/internal/fault",
+		},
+		MetricsPackage: "repro/internal/obs",
+		MetricNames:    obs.MetricSchema(),
+		BlockingFuncs: map[string][]string{
+			"repro/internal/rcce": {
+				"Barrier", "Send", "Recv", "SendFloat64s", "RecvFloat64s",
+				"SendRecv", "Bcast", "Reduce", "Allreduce", "Gather",
+				"Scatter", "Wait", "WaitAll", "Run", "RunWith",
+			},
+			"repro/internal/obs": {"ForEach", "ForEachCtx"},
+		},
 	}
 }
 
@@ -95,8 +162,18 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for `sccvet -list`.
 	Doc string
+	// Applies reports whether the analyzer is in scope for the package
+	// under the config; nil means it applies everywhere. Scope gates both
+	// running the analyzer and the unused-directive check: a directive for
+	// an out-of-scope analyzer is dormant, not stale.
+	Applies func(Config, *Package) bool
 	// Run inspects one type-checked package via the pass.
 	Run func(*Pass)
+}
+
+// applies resolves the nil-Applies default.
+func (a *Analyzer) applies(conf Config, pkg *Package) bool {
+	return a.Applies == nil || a.Applies(conf, pkg)
 }
 
 // Analyzers returns the suite in reporting order.
@@ -107,10 +184,15 @@ func Analyzers() []*Analyzer {
 		analyzerGeometry,
 		analyzerAtomic,
 		analyzerAliasing,
+		analyzerHashCoverage,
+		analyzerCtxProp,
+		analyzerErrDiscard,
+		analyzerCounterDrift,
+		analyzerLockBlock,
 	}
 }
 
-// AnalyzerNames returns the valid directive targets (the five analyzers).
+// AnalyzerNames returns the valid directive targets (the ten analyzers).
 func AnalyzerNames() []string {
 	var names []string
 	for _, a := range Analyzers() {
@@ -145,6 +227,7 @@ type Pass struct {
 
 	current  string
 	findings []Finding
+	flow     *flowGraph
 }
 
 // Reportf records a finding for the currently running analyzer.
@@ -156,9 +239,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunPackage runs the full suite over one loaded package and returns the
+// RunPackage runs the suite over one loaded package and returns the
 // findings that survive //sccvet:allow suppression, sorted by position.
-// Malformed directives are returned as findings themselves.
+// Malformed directives are returned as findings themselves, and so is any
+// well-formed directive that suppressed nothing while its analyzer ran
+// here: stale suppressions are how the next real regression hides.
 func RunPackage(conf Config, pkg *Package) []Finding {
 	pass := &Pass{
 		Conf:  conf,
@@ -168,7 +253,12 @@ func RunPackage(conf Config, pkg *Package) []Finding {
 		Info:  pkg.Info,
 		Files: pkg.Files,
 	}
+	ran := map[string]bool{}
 	for _, a := range Analyzers() {
+		if !conf.enabled(a.Name) || !a.applies(conf, pkg) {
+			continue
+		}
+		ran[a.Name] = true
 		pass.current = a.Name
 		a.Run(pass)
 	}
@@ -178,6 +268,18 @@ func RunPackage(conf Config, pkg *Package) []Finding {
 		if !dirs.suppresses(f) {
 			out = append(out, f)
 		}
+	}
+	for _, d := range dirs.recs {
+		if d.used || !ran[d.analyzer] {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "sccvet",
+			Pos:      d.pos,
+			Message: "unused //sccvet:allow " + d.analyzer +
+				" directive: nothing on this line or the line below triggers " +
+				d.analyzer + "; delete the stale suppression",
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

@@ -155,6 +155,63 @@ func TestDirectiveCorpus(t *testing.T) {
 	runCorpus(t, "directive", Config{SimPackages: []string{"corpus/directive"}})
 }
 
+func TestHashCoverageCorpus(t *testing.T) {
+	runCorpus(t, "hashcov", Config{
+		Run: []string{"hash-coverage"},
+		HashContracts: []HashContract{{
+			Package: "corpus/hashcov",
+			Struct:  "Cfg",
+			Funcs:   []string{"Canonical", "Key"},
+		}},
+	})
+}
+
+func TestHashCoverageOutOfScopePackage(t *testing.T) {
+	// Without a contract naming this package the analyzer never runs, and
+	// its //sccvet:allow directive is dormant rather than stale.
+	runCorpusExpectClean(t, "hashcov", Config{Run: []string{"hash-coverage"}})
+}
+
+func TestCtxPropagationCorpus(t *testing.T) {
+	runCorpus(t, "ctxprop", Config{Run: []string{"ctx-propagation"}})
+}
+
+func TestErrorDiscardCorpus(t *testing.T) {
+	runCorpus(t, "errdiscard", Config{
+		Run:                 []string{"error-discard"},
+		ErrCriticalPackages: []string{"corpus/errdiscard/fakercce"},
+	})
+}
+
+func TestErrorDiscardOutOfScopePackage(t *testing.T) {
+	runCorpusExpectClean(t, "errdiscard", Config{Run: []string{"error-discard"}})
+}
+
+func TestCounterDriftCorpus(t *testing.T) {
+	runCorpus(t, "counterdrift", Config{
+		Run:            []string{"counter-drift"},
+		MetricsPackage: "corpus/counterdrift/fakeobs",
+		MetricNames: map[string]string{
+			"engine.cells": "counter",
+			"engine.depth": "gauge",
+			"engine.walk":  "pool",
+		},
+	})
+}
+
+func TestCounterDriftOutOfScopePackage(t *testing.T) {
+	runCorpusExpectClean(t, "counterdrift", Config{Run: []string{"counter-drift"}})
+}
+
+func TestLockAcrossBlockingCorpus(t *testing.T) {
+	runCorpus(t, "lockblock", Config{
+		Run: []string{"lock-across-blocking"},
+		BlockingFuncs: map[string][]string{
+			"corpus/lockblock/fakepool": {"Drain"},
+		},
+	})
+}
+
 func TestAnalyzerNamesAreUniqueAndDocumented(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range Analyzers() {
@@ -166,7 +223,7 @@ func TestAnalyzerNamesAreUniqueAndDocumented(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected the 5 analyzers of the suite, have %d", len(seen))
+	if len(seen) != 10 {
+		t.Errorf("expected the 10 analyzers of the suite, have %d", len(seen))
 	}
 }

@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerLockBlock flags mutexes held across blocking operations. The
+// serve daemon and the RCCE mesh both follow the same discipline: a
+// sync.Mutex protects in-memory state and nothing else; channel sends,
+// Barrier(), and pool dispatch happen outside the critical section. A
+// violation is a whole-process stall waiting to happen - a blocked send
+// under the job-table lock freezes every Submit and status probe, and a
+// Barrier under a lock deadlocks the mesh the first time two UEs arrive
+// holding different locks.
+//
+// The scan is a linear walk of each function body tracking the set of
+// held locks (Lock/RLock add, Unlock/RUnlock remove, deferred unlocks
+// keep the lock held to the end). Branch bodies are analyzed with a copy
+// of the state, so a conditional Unlock never "unlocks" the main path.
+// Blocking operations are: channel sends, channel receives, ranging over
+// a channel, select without a default case, calls to the configured
+// blocking functions (Config.BlockingFuncs - the RCCE ops and the obs
+// pool dispatchers), and calls to same-package functions that
+// transitively perform any of those (flow.go call graph). Goroutine and
+// function-literal bodies run on their own stacks and are skipped.
+var analyzerLockBlock = &Analyzer{
+	Name: "lock-across-blocking",
+	Doc:  "flags sync.Mutex/RWMutex locks held across channel operations, RCCE calls, or pool dispatch",
+	Run:  runLockBlock,
+}
+
+func runLockBlock(p *Pass) {
+	s := &lockScan{p: p, blocking: transitivelyBlocking(p)}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.stmts(fd.Body.List, lockState{})
+		}
+	}
+}
+
+// lockState maps a lock's display key (the receiver expression, e.g.
+// "s.mu") to true while it is held on the path being scanned.
+type lockState map[string]bool
+
+func (ls lockState) clone() lockState {
+	c := make(lockState, len(ls))
+	for k := range ls {
+		c[k] = true
+	}
+	return c
+}
+
+func (ls lockState) any() (string, bool) {
+	for k := range ls {
+		return k, true
+	}
+	return "", false
+}
+
+type lockScan struct {
+	p *Pass
+	// blocking holds the same-package functions that transitively perform
+	// a blocking operation.
+	blocking map[*types.Func]bool
+}
+
+// stmts scans a statement list in order, mutating held.
+func (s *lockScan) stmts(list []ast.Stmt, held lockState) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt, held lockState) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		s.expr(x.X, held)
+	case *ast.SendStmt:
+		s.expr(x.Value, held)
+		s.reportIfHeld(x.Pos(), "a channel send", held)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range x.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.expr(e, held)
+		}
+	case *ast.BlockStmt:
+		s.stmts(x.List, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		s.expr(x.Cond, held)
+		s.stmts(x.Body.List, held.clone())
+		if x.Else != nil {
+			s.stmt(x.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			s.expr(x.Cond, held)
+		}
+		s.stmts(x.Body.List, held.clone())
+	case *ast.RangeStmt:
+		s.expr(x.X, held)
+		if t, ok := s.p.Info.Types[x.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				s.reportIfHeld(x.Pos(), "ranging over a channel", held)
+			}
+		}
+		s.stmts(x.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			s.expr(x.Tag, held)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(x) {
+			s.reportIfHeld(x.Pos(), "a select with no default case", held)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := held.clone()
+				// With a default present every comm clause is a
+				// non-blocking attempt; its body still runs under the lock.
+				s.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under this stack's locks.
+	case *ast.DeferStmt:
+		// Deferred calls run at return; a deferred Unlock means the lock
+		// stays held for the remainder of the scan, which is exactly the
+		// default, so no state change either way.
+	}
+}
+
+// expr scans an expression for receives, blocking calls and lock state
+// transitions. Function literals are skipped: their bodies execute on a
+// different activation, typically a different goroutine.
+func (s *lockScan) expr(e ast.Expr, held lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				s.reportIfHeld(x.Pos(), "a channel receive", held)
+			}
+		case *ast.CallExpr:
+			if key, op := syncLockOp(s.p.Info, x); op != "" {
+				switch op {
+				case "lock":
+					held[key] = true
+				case "unlock":
+					delete(held, key)
+				}
+				return true
+			}
+			if desc, ok := s.blockingCall(x); ok {
+				s.reportIfHeld(x.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockScan) reportIfHeld(pos token.Pos, what string, held lockState) {
+	key, ok := held.any()
+	if !ok {
+		return
+	}
+	s.p.Reportf(pos,
+		"%s is held across %s: anything waiting on that operation now also waits on every other critical section of %s; move the blocking work outside the lock, or annotate //sccvet:allow lock-across-blocking <reason>",
+		key, what, key)
+}
+
+// blockingCall reports whether the call is a blocking operation: a
+// configured blocking function (RCCE ops, pool dispatch) or a
+// same-package function that transitively blocks.
+func (s *lockScan) blockingCall(call *ast.CallExpr) (string, bool) {
+	callee := calleeOf(s.p.Info, call)
+	if callee == nil {
+		return "", false
+	}
+	if configuredBlocking(s.p.Conf, callee) {
+		return "a call to " + callee.Name() + " (blocking)", true
+	}
+	if s.blocking[callee] {
+		return "a call to " + callee.Name() + ", which blocks transitively", true
+	}
+	return "", false
+}
+
+func configuredBlocking(conf Config, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	return contains(conf.BlockingFuncs[fn.Pkg().Path()], fn.Name())
+}
+
+// transitivelyBlocking computes, by fixpoint over the package call
+// graph, the declared functions that perform a blocking operation
+// directly or through same-package calls.
+func transitivelyBlocking(p *Pass) map[*types.Func]bool {
+	g := p.Flow()
+	blocking := map[*types.Func]bool{}
+	for fn, fd := range g.decls {
+		if directlyBlocks(p, fd) {
+			blocking[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.decls {
+			if blocking[fn] {
+				continue
+			}
+			for _, callee := range g.callees[fn] {
+				if blocking[callee] {
+					blocking[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return blocking
+}
+
+// directlyBlocks reports whether the function body itself contains a
+// blocking operation (outside goroutine and function-literal bodies).
+func directlyBlocks(p *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := p.Info.Types[x.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if callee := calleeOf(p.Info, x); callee != nil && configuredBlocking(p.Conf, callee) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// syncLockOp recognises mutex state transitions: a call to
+// Lock/RLock/Unlock/RUnlock on a sync.Mutex or sync.RWMutex. The
+// returned key is the receiver expression as written (e.g. "s.mu"),
+// which is how the held-set distinguishes locks.
+func syncLockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return "", ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	return types.ExprString(sel.X), op
+}

@@ -16,7 +16,10 @@ import (
 var analyzerNondeterminism = &Analyzer{
 	Name: "nondeterminism",
 	Doc:  "flags time.Now/Since, global math/rand and map-order-dependent slice writes in simulation packages",
-	Run:  runNondeterminism,
+	Applies: func(conf Config, pkg *Package) bool {
+		return contains(conf.SimPackages, pkg.Path)
+	},
+	Run: runNondeterminism,
 }
 
 // randConstructors are the math/rand functions that build an explicitly

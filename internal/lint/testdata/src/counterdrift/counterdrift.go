@@ -1,0 +1,22 @@
+// Corpus for counter-drift: registration-site name literals must match
+// the declared schema table, kind included.
+package counterdrift
+
+import "corpus/counterdrift/fakeobs"
+
+const declaredName = "engine.cells"
+
+func Register(r *fakeobs.Registry, dynamic string) {
+	r.Counter("engine.cells")    // declared counter: ok
+	r.Counter(declaredName)      // constant reference to a declared name: ok
+	r.Gauge("engine.depth")      // declared gauge: ok
+	r.Pool("engine.walk", 4)     // declared pool: ok
+	r.Counter("engine.cellz")    // want `metric "engine\.cellz" is not in the declared schema`
+	r.Gauge("engine.cells")      // want `metric "engine\.cells" is declared as a counter but registered here via Registry\.Gauge`
+	r.Sample(dynamic)            // want `Registry\.Sample called with a non-constant name`
+	r.Timer("engine." + dynamic) // want `Registry\.Timer called with a non-constant name`
+}
+
+func Excused(r *fakeobs.Registry, dynamic string) {
+	r.Counter(dynamic) //sccvet:allow counter-drift corpus fixture for a migration-period dynamic name
+}

@@ -1,0 +1,11 @@
+// Package fakeobs stands in for the metrics registry in the
+// counter-drift corpus.
+package fakeobs
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int     { return new(int) }
+func (r *Registry) Gauge(name string) *int       { return new(int) }
+func (r *Registry) Timer(name string) *int       { return new(int) }
+func (r *Registry) Sample(name string) *int      { return new(int) }
+func (r *Registry) Pool(name string, n int) *int { return new(int) }

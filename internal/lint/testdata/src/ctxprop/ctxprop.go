@@ -1,0 +1,53 @@
+// Corpus for ctx-propagation: fresh root contexts are banned in library
+// code, and a function holding a context must not call a ctx-ignoring
+// callee when a Ctx variant exists.
+package ctxprop
+
+import "context"
+
+func Fresh() {
+	_ = context.Background() // want `context\.Background\(\) in library function Fresh`
+}
+
+func FreshTODO() {
+	_ = context.TODO() // want `context\.TODO\(\) in library function FreshTODO`
+}
+
+func Detached(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want `context\.Background\(\) in Detached, which already receives a context`
+}
+
+func AllowedFallback(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.Background() //sccvet:allow ctx-propagation documented nil-means-Background fallback
+}
+
+type Pool struct{}
+
+func (p *Pool) ForEach(n int, fn func(int))                               {}
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(int)) error { return nil }
+
+func Dispatch(ctx context.Context, p *Pool) {
+	p.ForEach(4, func(int) {}) // want `Dispatch receives a context but calls ForEach, which ignores it, while ForEachCtx accepts one`
+}
+
+func DispatchCtx(ctx context.Context, p *Pool) error {
+	return p.ForEachCtx(ctx, 4, func(int) {})
+}
+
+// Walk / WalkCtx exercise the package-level sibling lookup.
+func Walk(n int) int                                  { return n }
+func WalkCtx(ctx context.Context, n int) (int, error) { return n, nil }
+
+func Sweep(ctx context.Context) int {
+	return Walk(3) // want `Sweep receives a context but calls Walk, which ignores it, while WalkCtx accepts one`
+}
+
+// NoCtx has no context parameter, so calling ForEach is fine (rule 2
+// only bites when a context is available to thread).
+func NoCtx(p *Pool) {
+	p.ForEach(2, func(int) {})
+}

@@ -1,6 +1,7 @@
 // Corpus for //sccvet:allow handling: well-formed directives suppress
 // their analyzer on the same line or the line below; wrong-analyzer
-// directives suppress nothing; malformed directives are findings.
+// directives suppress nothing (and are flagged unused); malformed
+// directives are findings.
 package directive
 
 import "time"
@@ -17,14 +18,18 @@ func SuppressedLineAbove() {
 }
 
 func WrongAnalyzer() {
-	//sccvet:allow bare-goroutine suppressing a different analyzer does nothing
+	//sccvet:allow bare-goroutine suppressing a different analyzer does nothing // want `unused //sccvet:allow bare-goroutine`
 	sink = float64(time.Now().UnixNano()) // want `call to time\.Now`
 }
 
 func TooFarAbove() {
-	//sccvet:allow nondeterminism a directive two lines up is out of range
+	//sccvet:allow nondeterminism a directive two lines up is out of range // want `unused //sccvet:allow nondeterminism`
 
 	sink = float64(time.Now().UnixNano()) // want `call to time\.Now`
+}
+
+func Unreferenced() {
+	_ = sink //sccvet:allow nondeterminism nothing here is nondeterministic // want `unused //sccvet:allow nondeterminism`
 }
 
 func MissingReason() {

@@ -1,0 +1,29 @@
+// Corpus for error-discard: dropped error results from the configured
+// error-critical package (the RCCE stand-in) are findings.
+package errdiscard
+
+import "corpus/errdiscard/fakercce"
+
+func Discards(u *fakercce.UE) {
+	u.Barrier()           // want `UE\.Barrier returns an error .* result discarded`
+	_ = u.Barrier()       // want `UE\.Barrier error assigned to _`
+	go u.Barrier()        // want `UE\.Barrier returns an error .* error lost in go statement`
+	defer u.Barrier()     // want `UE\.Barrier returns an error .* error lost in defer`
+	fakercce.RunWith(nil) // want `fakercce\.RunWith returns an error .* result discarded`
+	_, _ = u.Recv()       // want `UE\.Recv error assigned to _`
+}
+
+func Handles(u *fakercce.UE) error {
+	if err := u.Barrier(); err != nil {
+		return err
+	}
+	buf, err := u.Recv()
+	if err != nil {
+		return err
+	}
+	return u.Send(buf)
+}
+
+func DeliberateDrain(u *fakercce.UE) {
+	_ = u.Barrier() //sccvet:allow error-discard draining a known-complete op during shutdown
+}

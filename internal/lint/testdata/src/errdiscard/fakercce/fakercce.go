@@ -1,0 +1,10 @@
+// Package fakercce stands in for the RCCE communication layer in the
+// error-discard corpus: every op returns an error the caller must see.
+package fakercce
+
+type UE struct{}
+
+func (u *UE) Barrier() error          { return nil }
+func (u *UE) Send(b []byte) error     { return nil }
+func (u *UE) Recv() ([]byte, error)   { return nil, nil }
+func RunWith(f func(*UE) error) error { return nil }

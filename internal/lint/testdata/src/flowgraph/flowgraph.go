@@ -1,0 +1,27 @@
+// Corpus for the flow-layer unit tests (call graph + alias set); not an
+// analyzer corpus, so it carries no want assertions.
+package flowgraph
+
+type T struct{ n int }
+
+func A() int        { return B() + C() }
+func B() int        { return C() }
+func C() int        { return 1 }
+func Isolated() int { return 2 }
+
+func (t *T) M() int      { return t.helper() }
+func (t *T) helper() int { return t.n }
+
+// Indirect calls through function values are not statically resolved.
+func Indirect(f func() int) int { return f() }
+
+// Chain exercises the alias fixpoint: b and c alias the parameter, d
+// aliases a field (not a whole-value copy), e re-derives from c.
+func Chain(a *T) int {
+	b := a
+	c := b
+	d := b.n
+	e := c
+	_ = d
+	return e.n
+}

@@ -1,0 +1,33 @@
+// Corpus for hash-coverage: every exported field of Cfg must be read,
+// transitively, by Canonical or Key.
+package hashcov
+
+import "fmt"
+
+type Cfg struct {
+	Experiment string // covered: read directly by Canonical
+	Scale      int    // covered: read by Key via the helper
+	Stride     int    // want `exported field Cfg\.Stride is not read by Canonical/Key`
+	WriteOnly  string // want `exported field Cfg\.WriteOnly is not read by Canonical/Key`
+	Knob       int    //sccvet:allow hash-coverage engine knob, provably output-invariant
+	hidden     int    // unexported: outside the contract
+}
+
+func (c *Cfg) Canonical() {
+	if c.Experiment == "" {
+		c.Experiment = "baseline"
+	}
+	// Storing into a field is not reading it: WriteOnly stays uncovered.
+	c.WriteOnly = "normalized"
+	_ = c.hidden
+}
+
+func (c *Cfg) Key() string {
+	return fmt.Sprintf("%s/%d", c.Experiment, scalePart(c))
+}
+
+// scalePart is reachable from Key through the intra-package call graph,
+// so the Scale read below covers the field.
+func scalePart(c *Cfg) int {
+	return c.Scale * 2
+}

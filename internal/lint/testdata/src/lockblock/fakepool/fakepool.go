@@ -1,0 +1,5 @@
+// Package fakepool stands in for the configured blocking operations
+// (RCCE ops, pool dispatch) in the lock-across-blocking corpus.
+package fakepool
+
+func Drain() {}

@@ -1,0 +1,104 @@
+// Corpus for lock-across-blocking: a mutex held across a channel op, a
+// default-less select, or a configured/transitively blocking call is a
+// finding; releasing first, select-with-default, and goroutine bodies
+// are not.
+package lockblock
+
+import (
+	"sync"
+
+	"corpus/lockblock/fakepool"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (s *S) SendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `s\.mu is held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *S) RecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `s\.mu is held across a channel receive`
+}
+
+func (s *S) ReleasedFirst(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *S) SelectDefaultIsFine(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+func (s *S) SelectNoDefault(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `s\.mu is held across a select with no default case`
+	case s.ch <- v:
+	case <-s.ch:
+	}
+}
+
+func (s *S) RangeUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	total := 0
+	for v := range s.ch { // want `s\.rw is held across ranging over a channel`
+		total += v
+	}
+	return total
+}
+
+func (s *S) ConfiguredBlockingCall() {
+	s.mu.Lock()
+	fakepool.Drain() // want `s\.mu is held across a call to Drain \(blocking\)`
+	s.mu.Unlock()
+}
+
+func (s *S) TransitiveBlockingCall() {
+	s.mu.Lock()
+	s.flush() // want `s\.mu is held across a call to flush, which blocks transitively`
+	s.mu.Unlock()
+}
+
+// flush blocks (it sends), so callers must not hold a lock across it.
+func (s *S) flush() {
+	s.ch <- 0
+}
+
+func (s *S) GoroutineBodyIsFine(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}
+
+func (s *S) BranchUnlockDoesNotLeak(cond bool, v int) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- v // want `s\.mu is held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *S) Excused(v int) {
+	s.mu.Lock()
+	s.ch <- v //sccvet:allow lock-across-blocking corpus fixture for a justified handoff
+	s.mu.Unlock()
+}

@@ -1,0 +1,160 @@
+package obs
+
+import "sort"
+
+// The declared metrics schema. Every counter, gauge, timer, sample and
+// pool prefix the engine registers by string literal is listed here, with
+// its kind. The table is the single source of truth two consumers share:
+//
+//   - sccvet's counter-drift analyzer (internal/lint) rejects any
+//     Registry.Counter/Gauge/Timer/Sample/Pool call whose name literal is
+//     absent or registered under the wrong kind, so the metrics namespace
+//     cannot silently fork at an increment site;
+//   - cmd/metricscheck validates -metrics snapshots against the same
+//     table, so a name that drifts at runtime (a dynamically built name
+//     outside the declared families) fails the metrics-smoke gate.
+//
+// Adding a metric therefore means adding its name here first; the vet
+// gate fails otherwise, naming the undeclared site.
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+	KindTimer   = "timer"
+	KindSample  = "sample"
+	// KindPool declares a worker-pool prefix; Registry.Pool derives
+	// <prefix>.tasks (counter), <prefix>.task_seconds (timer) and
+	// <prefix>.occupancy (sample) from it.
+	KindPool = "pool"
+)
+
+// poolSuffixes maps each name Registry.Pool derives from its prefix onto
+// the kind of the derived metric.
+var poolSuffixes = map[string]string{
+	".tasks":        KindCounter,
+	".task_seconds": KindTimer,
+	".occupancy":    KindSample,
+}
+
+var schema = map[string]string{
+	// internal/sparse matrix cache (matrices + analytic profile blobs).
+	"sparse.matrix_cache.hits":                   KindCounter,
+	"sparse.matrix_cache.misses":                 KindCounter,
+	"sparse.matrix_cache.evictions":              KindCounter,
+	"sparse.matrix_cache.duplicate_generations":  KindCounter,
+	"sparse.matrix_cache.duplicate_bytes_wasted": KindCounter,
+	"sparse.matrix_cache.profile_hits":           KindCounter,
+	"sparse.matrix_cache.profile_misses":         KindCounter,
+	"sparse.matrix_cache.profile_evictions":      KindCounter,
+	"sparse.matrix_cache.used_bytes":             KindGauge,
+	"sparse.matrix_cache.resident":               KindGauge,
+	"sparse.matrix_cache.profile_used_bytes":     KindGauge,
+	"sparse.matrix_cache.profile_resident":       KindGauge,
+
+	// internal/sim engine core and pricing backends.
+	"sim.flops.simulated":         KindCounter,
+	"sim.sweep.runs":              KindCounter,
+	"sim.sweep.machine_runs":      KindCounter,
+	"sim.pricing.profiles_built":  KindCounter,
+	"sim.pricing.profiles_reused": KindCounter,
+	"sim.pricing.cells_analytic":  KindCounter,
+	"sim.pricing.cells_exact":     KindCounter,
+	"sim.ue_walk":                 KindPool,
+
+	// internal/experiments sweep pipeline.
+	"experiments.matrix.visits":        KindCounter,
+	"experiments.cell.errors":          KindCounter,
+	"experiments.matrix.fetch_seconds": KindTimer,
+	"experiments.cell":                 KindPool,
+
+	// internal/mem per-controller contention distributions.
+	"mem.mc0.slowdown":         KindSample,
+	"mem.mc1.slowdown":         KindSample,
+	"mem.mc2.slowdown":         KindSample,
+	"mem.mc3.slowdown":         KindSample,
+	"mem.mc_other.slowdown":    KindSample,
+	"mem.mc0.utilization":      KindSample,
+	"mem.mc1.utilization":      KindSample,
+	"mem.mc2.utilization":      KindSample,
+	"mem.mc3.utilization":      KindSample,
+	"mem.mc_other.utilization": KindSample,
+
+	// internal/spmv executable kernels.
+	"spmv.parallel": KindPool,
+
+	// internal/serve job daemon and result store.
+	"serve.jobs.submitted":   KindCounter,
+	"serve.jobs.cache_hits":  KindCounter,
+	"serve.jobs.coalesced":   KindCounter,
+	"serve.jobs.completed":   KindCounter,
+	"serve.jobs.failed":      KindCounter,
+	"serve.jobs.cancelled":   KindCounter,
+	"serve.jobs.rejected":    KindCounter,
+	"serve.jobs.running":     KindGauge,
+	"serve.jobs.queued":      KindGauge,
+	"serve.store.hits":       KindCounter,
+	"serve.store.misses":     KindCounter,
+	"serve.store.evictions":  KindCounter,
+	"serve.store.used_bytes": KindGauge,
+	"serve.store.resident":   KindGauge,
+	"serve.worker":           KindPool,
+	"serve.run":              KindPool,
+
+	// cmd/sccsimd loopback selfcheck.
+	"sccsimd.selfcheck": KindPool,
+}
+
+// MetricSchema returns a copy of the declared name table (name -> kind).
+func MetricSchema() map[string]string {
+	out := make(map[string]string, len(schema))
+	for n, k := range schema {
+		out[n] = k
+	}
+	return out
+}
+
+// KnownMetricName reports whether a runtime metric name is covered by the
+// schema: an exact entry, or a name one of the declared pool prefixes
+// derives (<prefix>.tasks, <prefix>.task_seconds, <prefix>.occupancy).
+func KnownMetricName(name string) bool {
+	if _, ok := schema[name]; ok {
+		return true
+	}
+	for suffix := range poolSuffixes {
+		if prefix, ok := cutSuffix(name, suffix); ok && schema[prefix] == KindPool {
+			return true
+		}
+	}
+	return false
+}
+
+// cutSuffix is strings.CutSuffix without pulling strings in for one call.
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) <= len(suffix) || s[len(s)-len(suffix):] != suffix {
+		return s, false
+	}
+	return s[:len(s)-len(suffix)], true
+}
+
+// MetricNames returns every declared name, sorted (diagnostics).
+func MetricNames() []string {
+	names := make([]string, 0, len(schema))
+	for n := range schema {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RequiredEngineCounters is the counter set every engine run must
+// produce, shared by cmd/metricscheck (the metrics-smoke gate). Each
+// entry must also appear in the schema - names_test pins that.
+func RequiredEngineCounters() []string {
+	return []string{
+		"sim.flops.simulated",
+		"sim.sweep.runs",
+		"sim.ue_walk.tasks",
+		"experiments.cell.tasks",
+		"experiments.matrix.visits",
+		"sparse.matrix_cache.misses",
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+func TestMetricSchemaKindsAreValid(t *testing.T) {
+	valid := map[string]bool{
+		KindCounter: true, KindGauge: true, KindTimer: true,
+		KindSample: true, KindPool: true,
+	}
+	for name, kind := range MetricSchema() {
+		if name == "" {
+			t.Error("schema holds an empty metric name")
+		}
+		if !valid[kind] {
+			t.Errorf("metric %q declared with unknown kind %q", name, kind)
+		}
+	}
+}
+
+func TestRequiredEngineCountersAreDeclared(t *testing.T) {
+	// Every counter metricscheck demands must be in the schema - either an
+	// exact counter entry or a pool-derived .tasks name - or the two
+	// consumers of the table have already forked.
+	sch := MetricSchema()
+	for _, name := range RequiredEngineCounters() {
+		if !KnownMetricName(name) {
+			t.Errorf("required counter %q is not covered by the schema", name)
+		}
+		if kind, ok := sch[name]; ok && kind != KindCounter {
+			t.Errorf("required counter %q is declared as a %s", name, kind)
+		}
+	}
+}
+
+func TestKnownMetricNamePoolDerivation(t *testing.T) {
+	for _, name := range []string{
+		"sim.ue_walk.tasks", "sim.ue_walk.task_seconds", "sim.ue_walk.occupancy",
+		"serve.worker.tasks", "experiments.cell.occupancy",
+	} {
+		if !KnownMetricName(name) {
+			t.Errorf("pool-derived name %q should be known", name)
+		}
+	}
+	for _, name := range []string{
+		"sim.ue_walk.bogus", "serve.workerx.tasks", "unheard.of.counter", ".tasks",
+	} {
+		if KnownMetricName(name) {
+			t.Errorf("name %q should be unknown", name)
+		}
+	}
+}

@@ -46,6 +46,7 @@ func (r *Registry) Pool(prefix string) *Pool {
 // most workers goroutines. fn must be safe to call concurrently for
 // distinct indices when workers > 1.
 func (p *Pool) ForEach(n, workers int, fn func(i int)) {
+	//sccvet:allow ctx-propagation ForEach is the documented uncancellable variant; Background here IS its contract
 	_ = p.ForEachCtx(context.Background(), n, workers, fn)
 }
 
@@ -57,7 +58,7 @@ func (p *Pool) ForEach(n, workers int, fn func(i int)) {
 // path and the determinism guarantees are unchanged.
 func (p *Pool) ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sccvet:allow ctx-propagation documented nil-means-Background fallback for callers without a context
 	}
 	if workers > n {
 		workers = n

@@ -235,7 +235,9 @@ func (s *Server) Cancel(id string) (bool, bool) {
 // cancellation through their own derived contexts.
 func (s *Server) RunWorkers(ctx context.Context) {
 	n := s.cfg.Workers
-	workerPool.ForEach(n, n, func(int) { s.workerLoop(ctx) })
+	// The pool error is ctx.Err() by construction; the workers observe the
+	// same context, so there is nothing extra to report.
+	_ = workerPool.ForEachCtx(ctx, n, n, func(int) { s.workerLoop(ctx) })
 }
 
 // workerLoop drains the queue until the context ends.
@@ -345,13 +347,18 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 	}
 	var serveErr error
 	n := s.cfg.Workers + 2
-	runPool.ForEach(n, n, func(i int) {
+	// Every slot must start even if ctx is already cancelled - slot 1 is
+	// the shutdown watcher that unblocks slot 0's Serve - so the dispatch
+	// context derives from ctx without its cancellation.
+	_ = runPool.ForEachCtx(context.WithoutCancel(ctx), n, n, func(i int) {
 		switch i {
 		case 0:
 			serveErr = hs.Serve(l)
 		case 1:
 			<-ctx.Done()
-			sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+			// Shutdown runs precisely because ctx ended; its grace window
+			// must therefore survive that cancellation (values intact).
+			sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), shutdownGrace)
 			defer cancel()
 			if err := hs.Shutdown(sctx); err != nil {
 				hs.Close()

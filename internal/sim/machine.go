@@ -178,7 +178,7 @@ type Options struct {
 // ctx resolves the context knob (nil means Background).
 func (o *Options) ctx() context.Context {
 	if o.Ctx == nil {
-		return context.Background()
+		return context.Background() //sccvet:allow ctx-propagation documented nil-means-Background fallback for the Options knob
 	}
 	return o.Ctx
 }
