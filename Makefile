@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke serve-smoke sccvet sccvet-json fmt-check ci clean
+.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke serve-smoke trace-smoke sccvet sccvet-json fmt-check ci clean
 
 all: build
 
@@ -62,9 +62,10 @@ chaos:
 # ci is the full pre-merge pipeline: the check gate, the recorded sccvet
 # findings report, the race detector over the host-concurrent packages,
 # the chaos suite, the bench smoke (which exercises all three engine legs
-# end to end), and the daemon smoke (which exercises the job API and
-# result cache over real HTTP).
-ci: check sccvet-json race chaos bench-smoke serve-smoke
+# end to end), the daemon smoke (which exercises the job API and
+# result cache over real HTTP), and the telemetry smoke (Prometheus
+# exposition, trace export and the flight recorder's post-mortem path).
+ci: check sccvet-json race chaos bench-smoke serve-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -90,10 +91,20 @@ serve-smoke:
 
 # metrics-smoke proves the observability layer end to end: a small run
 # with -metrics must emit parseable JSON with nonzero engine counters
-# (UE walks, cells, cache traffic, controller contention).
+# (UE walks, cells, cache traffic, controller contention), histogram
+# invariants intact, and a Prometheus exposition that lints against the
+# same snapshot.
 metrics-smoke:
-	$(GO) run ./cmd/sccsim -exp fig3 -scale 0.05 -metrics /tmp/m.json > /dev/null
-	$(GO) run ./cmd/metricscheck /tmp/m.json
+	$(GO) run ./cmd/sccsim -exp fig3 -scale 0.05 -metrics /tmp/m.json -metrics-prom /tmp/m.prom > /dev/null
+	$(GO) run ./cmd/metricscheck -prom /tmp/m.prom /tmp/m.json
+
+# trace-smoke proves the telemetry surfaces end to end: a loopback
+# daemon runs a tiny job, /metrics must lint as Prometheus text, the
+# job's trace must lint as Chrome trace-event JSON, and a fault-wedged
+# job must fail with its flight-recorder tail attached (the post-mortem
+# path).
+trace-smoke:
+	$(GO) run ./cmd/sccsimd -telemetrycheck
 
 clean:
 	$(GO) clean ./...

@@ -7,17 +7,27 @@
 //
 // Usage:
 //
-//	metricscheck file.json [counter ...]
+//	metricscheck [-prom file.prom] file.json [counter ...]
 //
 // With no counter arguments the default engine set
 // (obs.RequiredEngineCounters) is required. Every metric name in the
 // snapshot must also be declared in the obs schema table - the same
 // table sccvet's counter-drift analyzer enforces at registration sites -
-// so a name cannot drift past one gate and into the other.
+// so a name cannot drift past one gate and into the other. Histograms
+// are checked structurally: the global bucket layout, the
+// count == sum(buckets) invariant, and quantile monotonicity.
+//
+// -prom additionally validates a Prometheus text exposition written by
+// `sccsim -metrics-prom file.prom` (or scraped from sccsimd's /metrics):
+// the file must lint as exposition format 0.0.4 and every family must
+// derive from a name in the JSON snapshot via the shared PromName
+// mangling - the JSON and Prometheus faces of one registry cannot
+// drift apart.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -27,12 +37,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck file.json [counter ...]")
+	promPath := flag.String("prom", "", "also validate this Prometheus text exposition against the JSON snapshot")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-prom file.prom] file.json [counter ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	path := os.Args[1]
-	required := os.Args[2:]
+	path := flag.Arg(0)
+	required := flag.Args()[1:]
 	if len(required) == 0 {
 		required = obs.RequiredEngineCounters()
 	}
@@ -83,11 +99,18 @@ func main() {
 			undeclared = append(undeclared, name+" (sample)")
 		}
 	}
+	for name := range snap.Histograms {
+		if !obs.KnownMetricName(name) {
+			undeclared = append(undeclared, name+" (histogram)")
+		}
+	}
 	if len(undeclared) > 0 {
 		sort.Strings(undeclared)
 		fail("%s: metric names absent from the declared schema (internal/obs/names.go): %s",
 			path, strings.Join(undeclared, ", "))
 	}
+
+	checkHistograms(path, snap.Histograms)
 
 	// The engine must also have sampled pool occupancy and at least one
 	// memory controller's contention distribution.
@@ -105,8 +128,78 @@ func main() {
 		fail("%s: no memory-controller slowdown samples recorded", path)
 	}
 
-	fmt.Printf("metricscheck: %s ok (%d counters, %d samples, %.1fs wall)\n",
-		path, len(snap.Counters), len(snap.Samples), snap.WallSeconds)
+	if *promPath != "" {
+		checkProm(*promPath, &snap)
+	}
+
+	fmt.Printf("metricscheck: %s ok (%d counters, %d samples, %d histograms, %.1fs wall)\n",
+		path, len(snap.Counters), len(snap.Samples), len(snap.Histograms), snap.WallSeconds)
+}
+
+// checkHistograms enforces the structural invariants every snapshot
+// histogram must satisfy: the process-global bucket layout, the
+// count-equals-bucket-sum identity (the snapshot path derives Count
+// from the buckets precisely so this cannot tear), non-negative
+// buckets, and monotone quantiles.
+func checkHistograms(path string, hists map[string]obs.HistStats) {
+	bounds := obs.HistBounds()
+	for name, st := range hists {
+		if len(st.Buckets) != len(bounds)+1 {
+			fail("%s: histogram %s has %d buckets, want %d (the global layout plus overflow)",
+				path, name, len(st.Buckets), len(bounds)+1)
+		}
+		var total int64
+		for i, b := range st.Buckets {
+			if b < 0 {
+				fail("%s: histogram %s bucket %d is negative (%d)", path, name, i, b)
+			}
+			total += b
+		}
+		if total != st.Count {
+			fail("%s: histogram %s count %d != bucket sum %d", path, name, st.Count, total)
+		}
+		if st.Count > 0 && (st.P50 > st.P95 || st.P95 > st.P99) {
+			fail("%s: histogram %s quantiles not monotone (p50 %g, p95 %g, p99 %g)",
+				path, name, st.P50, st.P95, st.P99)
+		}
+		if st.Count > 0 && st.Sum < 0 {
+			fail("%s: histogram %s has negative sum %g (observations clamp at zero)", path, name, st.Sum)
+		}
+	}
+}
+
+// checkProm lints a Prometheus exposition and pins every family to the
+// JSON snapshot: a family is known exactly when it derives from a
+// snapshot name through the shared PromName mangling (plus the
+// per-kind suffix families the writer emits). A family that cannot be
+// derived means the two faces of the registry have drifted.
+func checkProm(path string, snap *obs.SnapshotData) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	known := map[string]bool{}
+	for name := range snap.Counters {
+		known[obs.PromName(name)+"_total"] = true
+	}
+	for name := range snap.Gauges {
+		known[obs.PromName(name)] = true
+	}
+	for _, m := range []map[string]obs.SampleStats{snap.Timers, snap.Samples} {
+		for name := range m {
+			fam := obs.PromName(name)
+			known[fam] = true
+			known[fam+"_min"] = true
+			known[fam+"_max"] = true
+		}
+	}
+	for name := range snap.Histograms {
+		known[obs.PromName(name)] = true
+	}
+	if err := obs.LintPrometheus(blob, func(fam string) bool { return known[fam] }); err != nil {
+		fail("%s: %v", path, err)
+	}
+	fmt.Printf("metricscheck: %s ok (prometheus exposition lints against the snapshot)\n", path)
 }
 
 func fail(format string, args ...any) {

@@ -31,9 +31,13 @@
 // Observability (internal/obs): -metrics out.json writes a schema-stable
 // JSON snapshot of every engine metric (per-UE walk timings, worker-pool
 // occupancy, sweep sharing, matrix-cache effectiveness, per-controller
-// contention) plus the run's span tree; -progress prints a periodic
-// heartbeat of the counters to stderr. Both are write-only taps: output
-// tables are bit-identical with or without them.
+// contention) plus the run's span tree; -metrics-prom out.prom writes
+// the same registry in Prometheus text exposition format; -trace
+// out.json writes a Chrome trace-event JSON of the run's span tree and
+// flight-recorder tracks (load at ui.perfetto.dev or chrome://tracing);
+// -progress prints a periodic heartbeat of the counters to stderr. All
+// are write-only taps: output tables are bit-identical with or without
+// them.
 package main
 
 import (
@@ -84,6 +88,8 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		metricsOut = flag.String("metrics", "", "write a JSON snapshot of the engine metrics (internal/obs) to this file on exit")
+		promOut    = flag.String("metrics-prom", "", "write the engine metrics in Prometheus text exposition format to this file on exit")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run (load at ui.perfetto.dev) to this file on exit")
 		progress   = flag.Bool("progress", false, "print a periodic engine-metrics heartbeat to stderr")
 	)
 	flag.Parse()
@@ -144,6 +150,15 @@ func run() int {
 		reporter = obs.NewReporter(obs.Default, os.Stderr, time.Second)
 		reporter.Start()
 	}
+	// The flight recorder only arms under -trace: the ring is generous
+	// (the CLI has no post-mortem size pressure, it wants the whole run)
+	// and rides the context so pool workers, the cache and the rcce
+	// bridge attribute their events to this run.
+	var flight *obs.Recorder
+	if *traceOut != "" {
+		flight = obs.NewRecorder(traceRingEvents)
+		ctx = obs.WithRecorder(ctx, flight)
+	}
 	runSpan := obs.Default.StartSpan("run")
 
 	// The cleanups run on every exit path from here on, success or not,
@@ -172,6 +187,22 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "sccsim: metrics written to %s\n", *metricsOut)
 			}
 		}
+		if *promOut != "" {
+			if err := writeMetricsProm(*promOut); err != nil {
+				errf("%v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sccsim: prometheus metrics written to %s\n", *promOut)
+			}
+		}
+		if *traceOut != "" {
+			// runSpan is already ended above, so the trace's span slices
+			// all carry real durations.
+			if err := writeTrace(*traceOut, runSpan, flight); err != nil {
+				errf("%v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sccsim: trace written to %s (load at ui.perfetto.dev)\n", *traceOut)
+			}
+		}
 	}()
 
 	pricingMode, err := sim.ParsePricing(*pricing)
@@ -179,13 +210,17 @@ func run() int {
 		errf("%v", err)
 		return code
 	}
+	cache := sparse.NewMatrixCache(*cacheMB << 20)
+	if flight != nil {
+		cache.SetRecorder(flight)
+	}
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Stride:      *stride,
 		MaxMatrices: *max,
 		Parallelism: *parallel,
 		Sequential:  *sequential,
-		MatrixCache: sparse.NewMatrixCache(*cacheMB << 20),
+		MatrixCache: cache,
 		Ctx:         ctx,
 		FailFast:    *failFast,
 		Pricing:     pricingMode,
@@ -293,6 +328,37 @@ func writeMetrics(path string) error {
 	blob, err := obs.Default.SnapshotJSON()
 	if err != nil {
 		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// traceRingEvents sizes the -trace flight recorder. Unlike the daemon's
+// per-job post-mortem ring, the CLI trace wants every event of the one
+// run it instruments, so the ring is sized to effectively never wrap.
+const traceRingEvents = 65536
+
+// writeMetricsProm persists the obs registry in Prometheus text format.
+func writeMetricsProm(path string) error {
+	blob, err := obs.Default.PrometheusText()
+	if err != nil {
+		return fmt.Errorf("prometheus exposition: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeTrace persists the run's Chrome trace-event JSON: the span tree
+// under runSpan plus every flight-recorder track (pool workers, cache,
+// rcce).
+func writeTrace(path string, runSpan *obs.Span, rec *obs.Recorder) error {
+	blob, err := obs.TraceJSON([]*obs.SpanSnapshot{runSpan.Snapshot()}, rec.Snapshot())
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
 	}
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)

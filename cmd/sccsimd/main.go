@@ -6,6 +6,7 @@
 //	sccsimd [-addr 127.0.0.1:8077] [-workers N] [-queue 64]
 //	        [-cachemb 1024] [-resultmb 256] [-deadline 15m]
 //	sccsimd -selfcheck
+//	sccsimd -telemetrycheck
 //
 // Clients POST job configurations to /api/v1/jobs, poll or stream
 // progress, and fetch rendered tables when done. Determinism makes every
@@ -18,6 +19,13 @@
 // job twice over real HTTP, asserts the second submission is a cache hit
 // with byte-identical tables, and exits 0/1. It is the smoke test wired
 // into `make serve-smoke`.
+//
+// -telemetrycheck is the telemetry smoke (wired into `make trace-smoke`):
+// it runs a tiny job through a loopback daemon and validates the
+// Prometheus exposition on /metrics and the Chrome trace-event JSON on
+// /jobs/{id}/trace, then wedges a job with an injected deadlock fault
+// and asserts its failure payload carries a non-empty flight-recorder
+// tail ending at the wedged job's terminal transition.
 package main
 
 import (
@@ -32,9 +40,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -45,14 +55,15 @@ func main() {
 
 func run() int {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8077", "listen address for the HTTP API")
-		workers   = flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 64, "accepted-but-unstarted job bound; beyond it submissions get 503")
-		cacheMB   = flag.Int64("cachemb", 1024, "shared generated-matrix cache budget in MiB")
-		resultMB  = flag.Int64("resultmb", 256, "content-addressed result cache budget in MiB")
-		deadline  = flag.Duration("deadline", 15*time.Minute, "default per-job execution deadline (jobs may set their own)")
-		progress  = flag.Bool("progress", false, "print a periodic engine-metrics heartbeat to stderr")
-		selfcheck = flag.Bool("selfcheck", false, "start on a loopback port, run a tiny job twice, assert the second is a cache hit, exit")
+		addr           = flag.String("addr", "127.0.0.1:8077", "listen address for the HTTP API")
+		workers        = flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+		queue          = flag.Int("queue", 64, "accepted-but-unstarted job bound; beyond it submissions get 503")
+		cacheMB        = flag.Int64("cachemb", 1024, "shared generated-matrix cache budget in MiB")
+		resultMB       = flag.Int64("resultmb", 256, "content-addressed result cache budget in MiB")
+		deadline       = flag.Duration("deadline", 15*time.Minute, "default per-job execution deadline (jobs may set their own)")
+		progress       = flag.Bool("progress", false, "print a periodic engine-metrics heartbeat to stderr")
+		selfcheck      = flag.Bool("selfcheck", false, "start on a loopback port, run a tiny job twice, assert the second is a cache hit, exit")
+		telemetrycheck = flag.Bool("telemetrycheck", false, "start on a loopback port, validate /metrics + job trace, wedge a job and assert its flight recorder, exit")
 	)
 	flag.Parse()
 
@@ -70,6 +81,14 @@ func run() int {
 			return 1
 		}
 		fmt.Println("sccsimd: selfcheck ok (second submission served from cache, bytes identical)")
+		return 0
+	}
+	if *telemetrycheck {
+		if err := runTelemetrycheck(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "sccsimd: telemetrycheck FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Println("sccsimd: telemetrycheck ok (prometheus lints, trace lints, wedged job carried its flight tail)")
 		return 0
 	}
 
@@ -113,6 +132,13 @@ var selfcheckPool = obs.Default.Pool("sccsimd.selfcheck")
 // second submission must be a cache hit and the fetched tables must be
 // byte-identical to the first run's.
 func runSelfcheck(cfg serve.ServerConfig) error {
+	return runLoopback(cfg, selfcheckClient)
+}
+
+// runLoopback starts an in-process daemon on a loopback port and drives
+// client against it over real HTTP, shutting the daemon down when the
+// client returns.
+func runLoopback(cfg serve.ServerConfig, client func(ctx context.Context, base string) error) error {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
@@ -129,9 +155,153 @@ func runSelfcheck(cfg serve.ServerConfig) error {
 			return
 		}
 		defer cancel() // client done (or failed): shut the daemon down
-		clientErr = selfcheckClient(ctx, base)
+		clientErr = client(ctx, base)
 	})
 	return clientErr
+}
+
+// runTelemetrycheck drives the telemetry smoke end to end: a healthy
+// loopback daemon whose scrape and trace surfaces must lint clean, then
+// a fault-armed daemon proving a deadlocked job arrives with its flight
+// recorder attached.
+func runTelemetrycheck(cfg serve.ServerConfig) error {
+	if err := runLoopback(cfg, telemetryClient); err != nil {
+		return fmt.Errorf("healthy daemon: %w", err)
+	}
+	wcfg := cfg
+	// Wedge cell 0 of every matrix: the first cell the sweep touches
+	// runs a two-rank communication program whose rank 1 hangs, so the
+	// job fails with a genuine watchdog DeadlockError.
+	wcfg.Fault = &fault.Plan{WedgeCell: &fault.Cell{Index: 0}}
+	if err := runLoopback(wcfg, wedgeClient); err != nil {
+		return fmt.Errorf("wedged daemon: %w", err)
+	}
+	return nil
+}
+
+// telemetryClient validates the healthy-path telemetry: a tiny job runs
+// to done, /metrics lints as Prometheus text with a histogram ladder,
+// the job's trace lints as Chrome trace-event JSON carrying the
+// lifecycle track, and the done job ships no flight tail.
+func telemetryClient(ctx context.Context, base string) error {
+	st, err := submitJob(ctx, base, []byte(`{"experiment": "fig3", "scale": 0.05, "stride": 16}`))
+	if err != nil {
+		return err
+	}
+	if err := waitDone(ctx, base, st.ID); err != nil {
+		return err
+	}
+
+	prom, err := fetchBody(ctx, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	if err := obs.LintPrometheus(prom, nil); err != nil {
+		return fmt.Errorf("/metrics failed the prometheus lint: %w", err)
+	}
+	if !bytes.Contains(prom, []byte("_bucket{le=")) {
+		return fmt.Errorf("/metrics carries no histogram bucket ladder")
+	}
+
+	trace, err := fetchBody(ctx, base+"/api/v1/jobs/"+st.ID+"/trace")
+	if err != nil {
+		return err
+	}
+	if err := obs.LintTrace(trace); err != nil {
+		return fmt.Errorf("job trace failed the trace lint: %w", err)
+	}
+	tracks, err := obs.TraceTrackNames(trace)
+	if err != nil {
+		return fmt.Errorf("job trace: %w", err)
+	}
+	var sawLifecycle bool
+	for _, t := range tracks {
+		if t == "serve.job" {
+			sawLifecycle = true
+		}
+	}
+	if !sawLifecycle {
+		return fmt.Errorf("job trace misses the serve.job lifecycle track (tracks: %s)", strings.Join(tracks, ", "))
+	}
+
+	blob, err := fetchBody(ctx, base+"/api/v1/jobs/"+st.ID)
+	if err != nil {
+		return err
+	}
+	var status struct {
+		Flight *obs.FlightSnapshot `json:"flight"`
+	}
+	if err := json.Unmarshal(blob, &status); err != nil {
+		return fmt.Errorf("decoding job status: %w", err)
+	}
+	if status.Flight != nil {
+		return fmt.Errorf("done job %s shipped a flight tail; recorders are post-mortem only", st.ID)
+	}
+	return nil
+}
+
+// wedgeClient proves the post-mortem path: under a WedgeCell fault the
+// job must fail with a watchdog DeadlockError and its status payload
+// must carry a non-empty flight tail whose events include the deadlock
+// verdict naming the wedged rank and end at the terminal transition.
+func wedgeClient(ctx context.Context, base string) error {
+	job := []byte(`{"experiment": "fig3", "scale": 0.05, "stride": 16, "max_matrices": 1, "fail_fast": true}`)
+	st, err := submitJob(ctx, base, job)
+	if err != nil {
+		return err
+	}
+	blob, err := fetchBody(ctx, base+"/api/v1/jobs/"+st.ID+"/wait?timeout=110s")
+	if err != nil {
+		return err
+	}
+	var status struct {
+		State  string              `json:"state"`
+		Error  string              `json:"error"`
+		Flight *obs.FlightSnapshot `json:"flight"`
+	}
+	if err := json.Unmarshal(blob, &status); err != nil {
+		return fmt.Errorf("decoding job status: %w", err)
+	}
+	if status.State != "failed" {
+		return fmt.Errorf("wedged job %s finished %q, want failed", st.ID, status.State)
+	}
+	if !strings.Contains(status.Error, "deadlock") {
+		return fmt.Errorf("wedged job's error is not a deadlock: %q", status.Error)
+	}
+	if status.Flight == nil || len(status.Flight.Events) == 0 {
+		return fmt.Errorf("wedged job %s carries no flight-recorder tail", st.ID)
+	}
+	events := status.Flight.Events
+	if last := events[len(events)-1]; last.Kind != "state" || last.Name != "failed" {
+		return fmt.Errorf("flight tail ends at %s/%s, want the failed state transition", last.Kind, last.Name)
+	}
+	var sawVerdict bool
+	for _, e := range events {
+		if e.Kind == "deadlock" && strings.Contains(e.Detail, "rank") {
+			sawVerdict = true
+		}
+	}
+	if !sawVerdict {
+		return fmt.Errorf("flight tail of %s has no deadlock verdict naming the wedged rank", st.ID)
+	}
+
+	fb, err := fetchBody(ctx, base+"/debug/flight")
+	if err != nil {
+		return err
+	}
+	var wrecks []struct {
+		ID     string              `json:"id"`
+		Flight *obs.FlightSnapshot `json:"flight"`
+	}
+	if err := json.Unmarshal(fb, &wrecks); err != nil {
+		return fmt.Errorf("decoding /debug/flight: %w", err)
+	}
+	for _, w := range wrecks {
+		if w.ID == st.ID && w.Flight != nil && len(w.Flight.Events) > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("/debug/flight does not list wedged job %s", st.ID)
 }
 
 // selfcheckClient drives the submit -> wait -> fetch -> resubmit flow.

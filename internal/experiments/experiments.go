@@ -238,8 +238,10 @@ func (c Config) fetchMatrix(e sparse.TestbedEntry) (*sparse.CSR, error) {
 	}
 	start := time.Now() //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
 	a := c.matrixCache().Get(e, c.Scale)
-	matrixFetch.Observe(time.Since(start)) //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
+	d := time.Since(start) //sccvet:allow nondeterminism write-only fetch-time metric; never feeds experiment tables
+	matrixFetch.Observe(d)
 	matrixVisits.Add(1)
+	obs.RecorderFrom(c.context()).RecordDur("experiments.matrix", "matrix_fetch", e.Name, "", d)
 	return a, nil
 }
 
@@ -259,6 +261,7 @@ func (c Config) isolate(matrix string, err error) bool {
 	}
 	c.Errors.record(matrix, err)
 	cellErrors.Add(1)
+	obs.RecorderFrom(c.context()).Record(cellTrack, "cell_error", matrix, err.Error())
 	return true
 }
 
@@ -331,6 +334,9 @@ func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, erro
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			if c.Fault.CellWedged(a.Name, ci) {
+				return nil, c.wedgeCell(ctx, a.Name, ci)
+			}
 			if err := c.Fault.CellError(a.Name, ci); err != nil {
 				return nil, fmt.Errorf("cell %d: %w", ci, err)
 			}
@@ -353,7 +359,9 @@ func (c Config) runGrid(a *sparse.CSR, cells []sweepCell) ([][]*sim.Result, erro
 	results := make([][]*sim.Result, len(cells))
 	errs := make([]error, len(cells))
 	_ = cellPool.ForEachCtx(cctx, len(cells), c.workers(), func(ci int) {
-		if err := c.Fault.CellError(a.Name, ci); err != nil {
+		if c.Fault.CellWedged(a.Name, ci) {
+			errs[ci] = c.wedgeCell(cctx, a.Name, ci)
+		} else if err := c.Fault.CellError(a.Name, ci); err != nil {
 			errs[ci] = err
 		} else {
 			opts, sp := c.cellOptions(cctx, cells[ci].opts)

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/rcce"
+	"repro/internal/scc"
+)
+
+// cellTrack is the flight-recorder timeline row harness-level cell
+// events (errors, wedges) land on; pool task events carry their own
+// per-worker tracks.
+const cellTrack = "experiments.cell"
+
+// wedgeDeadline bounds the deliberately wedged communication program a
+// WedgeCell fault runs: long enough for the watchdog to tick a few
+// times into the flight recorder, short enough that chaos tests stay
+// fast.
+const wedgeDeadline = 50 * time.Millisecond
+
+// wedgeCell services a fault.Plan.WedgeCell match: instead of returning
+// a clean injected error, the cell runs a real two-rank RCCE program
+// whose rank 1 wedges at its first operation, so rank 0 blocks in the
+// barrier until the deadline watchdog converts the hang into a
+// structured DeadlockError. The job that owns ctx therefore fails the
+// way a genuinely hung sweep fails - watchdog ticks, the wedged rank's
+// last event, and the deadlock verdict all land in the context's flight
+// recorder, which is exactly the post-mortem the recorder exists to
+// capture.
+func (c Config) wedgeCell(ctx context.Context, matrix string, ci int) error {
+	rec := obs.RecorderFrom(ctx)
+	rec.Recordf(cellTrack, "fault_wedge", "cell wedged",
+		"cell %d on matrix %s entering wedged communication", ci, matrix)
+	err := rcce.RunWith(rcce.Options{
+		Deadline: wedgeDeadline,
+		Fault:    &fault.Plan{Wedge: &fault.RankFault{Rank: 1, AfterOps: 0}},
+		Recorder: rec,
+	}, 2, nil, scc.Uniform(scc.Conf0), func(u *rcce.UE) error {
+		return u.Barrier()
+	})
+	if err == nil {
+		// Cannot happen: rank 1 wedges before its barrier, so the program
+		// can only end through the watchdog. Guard anyway so a silent
+		// success never masks the injected fault.
+		err = fault.ErrInjected
+	}
+	return fmt.Errorf("cell %d on matrix %s wedged: %w", ci, matrix, err)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -93,6 +94,37 @@ func TestExperimentsBitIdenticalWithMetricsOff(t *testing.T) {
 				t.Errorf("%s parallelism=%d: tables differ with metrics disabled:\n--- on ---\n%s\n--- off ---\n%s",
 					id, parallelism, on, off)
 			}
+		}
+	}
+}
+
+// TestExperimentsBitIdenticalWithRecorderArmed proves the flight
+// recorder keeps the same write-only contract as the metrics registry:
+// arming a recorder on the run context and the matrix cache renders
+// byte-identical tables to a run with no recorder at all, on both
+// engine paths - telemetry on/off can never change a result byte.
+func TestExperimentsBitIdenticalWithRecorderArmed(t *testing.T) {
+	for _, parallelism := range []int{1, 0} {
+		plain := testConfig()
+		plain.Parallelism = parallelism
+		plain.MatrixCache = sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+		want := renderAll(t, "fig5", plain)
+
+		rec := obs.NewRecorder(4096)
+		cache := sparse.NewMatrixCache(DefaultMatrixCacheBytes)
+		cache.SetRecorder(rec)
+		armed := testConfig()
+		armed.Parallelism = parallelism
+		armed.MatrixCache = cache
+		armed.Ctx = obs.WithRecorder(context.Background(), rec)
+		got := renderAll(t, "fig5", armed)
+
+		if got != want {
+			t.Errorf("parallelism=%d: tables differ with the flight recorder armed:\n--- off ---\n%s\n--- on ---\n%s",
+				parallelism, want, got)
+		}
+		if rec.Len() == 0 {
+			t.Errorf("parallelism=%d: recorder armed but saw no events", parallelism)
 		}
 	}
 }

@@ -86,6 +86,22 @@ type Plan struct {
 	MatrixSeed int64
 	// Cell errors one simulation cell of an experiment grid.
 	Cell *Cell
+	// WedgeCell deadlocks the matched cell: instead of erroring cleanly
+	// the cell runs a communication program whose peer rank hangs, so
+	// the failure the job surfaces is a genuine watchdog DeadlockError -
+	// the scenario the flight recorder exists for.
+	WedgeCell *Cell
+}
+
+// matches reports whether the (matrix, cell) pair is pinned by c.
+func (c *Cell) matches(matrix string, cell int) bool {
+	if c == nil {
+		return false
+	}
+	if c.MatrixPrefix != "" && !strings.HasPrefix(matrix, c.MatrixPrefix) {
+		return false
+	}
+	return c.Index < 0 || c.Index == cell
 }
 
 // OnRankOp reports what the rank must do at its seq-th communication
@@ -134,14 +150,14 @@ func (p *Plan) MatrixError(seed int64, name string) error {
 // CellError returns the injected error for grid cell index `cell` running
 // on the named (possibly scale-suffixed) matrix, or nil. Nil-safe.
 func (p *Plan) CellError(matrix string, cell int) error {
-	if p == nil || p.Cell == nil {
-		return nil
-	}
-	if p.Cell.MatrixPrefix != "" && !strings.HasPrefix(matrix, p.Cell.MatrixPrefix) {
-		return nil
-	}
-	if p.Cell.Index >= 0 && p.Cell.Index != cell {
+	if p == nil || !p.Cell.matches(matrix, cell) {
 		return nil
 	}
 	return fmt.Errorf("fault: cell %d on matrix %s: %w", cell, matrix, ErrInjected)
+}
+
+// CellWedged reports whether the matched cell must deadlock instead of
+// computing (see Plan.WedgeCell). Nil-safe.
+func (p *Plan) CellWedged(matrix string, cell int) bool {
+	return p != nil && p.WedgeCell.matches(matrix, cell)
 }

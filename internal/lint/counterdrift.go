@@ -34,11 +34,12 @@ var analyzerCounterDrift = &Analyzer{
 // registryKinds maps obs.Registry method names onto the schema kind the
 // registered metric must carry.
 var registryKinds = map[string]string{
-	"Counter": "counter",
-	"Gauge":   "gauge",
-	"Timer":   "timer",
-	"Sample":  "sample",
-	"Pool":    "pool",
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Timer":     "timer",
+	"Sample":    "sample",
+	"Histogram": "histogram",
+	"Pool":      "pool",
 }
 
 func runCounterDrift(p *Pass) {

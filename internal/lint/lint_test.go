@@ -192,9 +192,10 @@ func TestCounterDriftCorpus(t *testing.T) {
 		Run:            []string{"counter-drift"},
 		MetricsPackage: "corpus/counterdrift/fakeobs",
 		MetricNames: map[string]string{
-			"engine.cells": "counter",
-			"engine.depth": "gauge",
-			"engine.walk":  "pool",
+			"engine.cells":        "counter",
+			"engine.depth":        "gauge",
+			"engine.walk":         "pool",
+			"engine.wait_seconds": "histogram",
 		},
 	})
 }

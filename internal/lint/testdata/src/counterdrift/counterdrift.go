@@ -7,16 +7,22 @@ import "corpus/counterdrift/fakeobs"
 const declaredName = "engine.cells"
 
 func Register(r *fakeobs.Registry, dynamic string) {
-	r.Counter("engine.cells")    // declared counter: ok
-	r.Counter(declaredName)      // constant reference to a declared name: ok
-	r.Gauge("engine.depth")      // declared gauge: ok
-	r.Pool("engine.walk", 4)     // declared pool: ok
-	r.Counter("engine.cellz")    // want `metric "engine\.cellz" is not in the declared schema`
-	r.Gauge("engine.cells")      // want `metric "engine\.cells" is declared as a counter but registered here via Registry\.Gauge`
-	r.Sample(dynamic)            // want `Registry\.Sample called with a non-constant name`
-	r.Timer("engine." + dynamic) // want `Registry\.Timer called with a non-constant name`
+	r.Counter("engine.cells")          // declared counter: ok
+	r.Counter(declaredName)            // constant reference to a declared name: ok
+	r.Gauge("engine.depth")            // declared gauge: ok
+	r.Pool("engine.walk", 4)           // declared pool: ok
+	r.Histogram("engine.wait_seconds") // declared histogram: ok
+	r.Counter("engine.cellz")          // want `metric "engine\.cellz" is not in the declared schema`
+	r.Gauge("engine.cells")            // want `metric "engine\.cells" is declared as a counter but registered here via Registry\.Gauge`
+	r.Sample(dynamic)                  // want `Registry\.Sample called with a non-constant name`
+	r.Timer("engine." + dynamic)       // want `Registry\.Timer called with a non-constant name`
+
+	r.Histogram("engine.latency")  // want `metric "engine\.latency" is not in the declared schema`
+	r.Histogram("engine.cells")    // want `metric "engine\.cells" is declared as a counter but registered here via Registry\.Histogram`
+	r.Histogram("h13n." + dynamic) // want `Registry\.Histogram called with a non-constant name`
 }
 
 func Excused(r *fakeobs.Registry, dynamic string) {
-	r.Counter(dynamic) //sccvet:allow counter-drift corpus fixture for a migration-period dynamic name
+	r.Counter(dynamic)   //sccvet:allow counter-drift corpus fixture for a migration-period dynamic name
+	r.Histogram(dynamic) //sccvet:allow counter-drift corpus fixture for a migration-period dynamic histogram
 }

@@ -9,3 +9,4 @@ func (r *Registry) Gauge(name string) *int       { return new(int) }
 func (r *Registry) Timer(name string) *int       { return new(int) }
 func (r *Registry) Sample(name string) *int      { return new(int) }
 func (r *Registry) Pool(name string, n int) *int { return new(int) }
+func (r *Registry) Histogram(name string) *int   { return new(int) }

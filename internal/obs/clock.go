@@ -1,0 +1,51 @@
+package obs
+
+import "time"
+
+// The package clock. Every duration the observability layer measures
+// goes through since(), which subtracts against the clock's current
+// reading and clamps the result at zero: Go's time.Now carries a
+// monotonic reading and time.Time.Sub prefers it, but times that have
+// lost their monotonic component (deserialized, Round()ed, or produced
+// by a test clock) fall back to wall-clock arithmetic, and a stepped
+// wall clock can run backwards. A telemetry layer must never report a
+// negative latency because NTP slewed the host mid-span.
+//
+// now is a seam, not configuration: tests swap it (setClock) to prove
+// the clamp holds under a clock that steps backwards; production always
+// runs on time.Now.
+var now = time.Now
+
+// since returns the elapsed time from t to the package clock's current
+// reading, never negative.
+func since(t time.Time) time.Duration {
+	d := now().Sub(t)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Since is the exported form of the package's monotonic-safe duration
+// measurement: elapsed time from t, clamped at zero. Instrumentation
+// outside this package (e.g. internal/serve job latencies) uses it so a
+// backwards-stepping wall clock cannot surface as a negative duration
+// in any status payload or metric.
+func Since(t time.Time) time.Duration { return since(t) }
+
+// ClampDuration returns d, or zero when d is negative - the guard every
+// recording path applies before folding a duration into a metric.
+func ClampDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// setClock swaps the package clock and returns a restore function
+// (tests only; callers must restore before the test ends).
+func setClock(fn func() time.Time) (restore func()) {
+	prev := now
+	now = fn
+	return func() { now = prev }
+}

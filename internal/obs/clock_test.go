@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// steppedClock is a fake clock whose reading the test moves by hand -
+// including BACKWARDS, which is what a wall-clock step (NTP slew,
+// manual reset) looks like to code that lost the monotonic reading.
+type steppedClock struct{ t time.Time }
+
+func (c *steppedClock) now() time.Time { return c.t }
+
+func (c *steppedClock) step(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestSinceClampsBackwardsClock(t *testing.T) {
+	clk := &steppedClock{t: time.Unix(1000, 0)}
+	defer setClock(clk.now)()
+	start := now()
+	clk.step(-10 * time.Second)
+	if d := since(start); d != 0 {
+		t.Fatalf("since() after backwards step = %v, want 0", d)
+	}
+	if d := Since(start); d != 0 {
+		t.Fatalf("Since() after backwards step = %v, want 0", d)
+	}
+	clk.step(15 * time.Second) // net +5s from start
+	if d := since(start); d != 5*time.Second {
+		t.Fatalf("since() = %v, want 5s", d)
+	}
+}
+
+// TestSteppedClockCannotProduceNegativeDurations is the regression test
+// for the monotonic-safety satellite: run every duration-measuring path
+// in the package against a clock that steps backwards mid-measurement
+// and assert no negative duration leaks into any metric or snapshot.
+func TestSteppedClockCannotProduceNegativeDurations(t *testing.T) {
+	clk := &steppedClock{t: time.Unix(2000, 0)}
+	defer setClock(clk.now)()
+
+	r := New()
+
+	// Timer fed raw negative wall-clock arithmetic must clamp.
+	tm := r.Timer("t")
+	tm.Observe(-3 * time.Second)
+	if st := tm.Stats(); st.Min < 0 || st.Sum < 0 {
+		t.Fatalf("timer accepted a negative duration: %+v", st)
+	}
+
+	// Span ended after a backwards step must not go negative.
+	sp := r.StartSpan("root")
+	child := sp.StartChild("child")
+	clk.step(-30 * time.Second)
+	child.End()
+	sp.End()
+
+	// A running span snapshotted after a backwards step likewise.
+	run := r.StartSpan("running")
+	clk.step(-30 * time.Second)
+
+	// Pool task timed across a backwards step.
+	pool := r.Pool("sim.ue_walk")
+	pool.ForEach(1, 1, func(int) { clk.step(-time.Minute) })
+
+	// Histogram observation of a negative value clamps to bucket 0.
+	h := r.Histogram("h")
+	h.Observe(-1)
+
+	// Registry wall time with the clock before the registry's birth.
+	d := r.Snapshot()
+	if d.WallSeconds < 0 {
+		t.Fatalf("snapshot wall_seconds = %v, negative", d.WallSeconds)
+	}
+	var check func(s *SpanSnapshot)
+	check = func(s *SpanSnapshot) {
+		if s.Seconds < 0 {
+			t.Fatalf("span %q has negative duration %v", s.Name, s.Seconds)
+		}
+		for _, c := range s.Children {
+			check(c)
+		}
+	}
+	for _, s := range d.Spans {
+		check(s)
+	}
+	for n, st := range d.Timers {
+		if st.Min < 0 || st.Sum < 0 {
+			t.Fatalf("timer %q went negative: %+v", n, st)
+		}
+	}
+	if st := d.Histograms["h"]; st.Sum < 0 || st.Buckets[0] != 1 {
+		t.Fatalf("histogram accepted a negative value: %+v", st)
+	}
+	_ = run
+}
+
+func TestClampDuration(t *testing.T) {
+	if ClampDuration(-time.Second) != 0 {
+		t.Fatal("ClampDuration(-1s) != 0")
+	}
+	if ClampDuration(time.Second) != time.Second {
+		t.Fatal("ClampDuration(1s) changed a positive duration")
+	}
+}

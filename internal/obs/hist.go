@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-bucketed latency/size distribution. The
+// bucket layout is fixed at construction time for every histogram in
+// the process: histBuckets doubling buckets starting at histBase
+// (1 µs when observations are seconds), plus one overflow bucket, so
+// two histograms with the same name are always mergeable bucket-by-
+// bucket and the Prometheus exposition can emit a stable `le` ladder.
+//
+// Observe is wait-free on the bucket path (one atomic add) and
+// lock-free on the sum path (a CAS loop over the float64 bit pattern),
+// mirroring Counter/Sample: safe from every worker goroutine, never a
+// source of cross-worker ordering, and therefore incapable of changing
+// simulation output - the same write-only contract the rest of the
+// registry keeps.
+type Histogram struct {
+	reg     *Registry
+	name    string
+	buckets [histBuckets + 1]atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+const (
+	// histBase is the upper bound of the first bucket. With seconds as
+	// the unit this is 1 µs; 40 doublings reach ~1.1e6 s (~12.7 days),
+	// comfortably past any job duration this engine produces.
+	histBase    = 1e-6
+	histBuckets = 40
+)
+
+// histBounds holds the inclusive upper bound of each finite bucket:
+// histBase * 2^i. Everything above the last bound lands in the
+// overflow bucket (Prometheus `+Inf`).
+var histBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	for i := range b {
+		b[i] = histBase * math.Pow(2, float64(i))
+	}
+	return b
+}()
+
+// HistBounds returns a copy of the shared finite bucket upper bounds,
+// in ascending order. cmd/metricscheck uses it to validate snapshots
+// against the exposition layout.
+func HistBounds() []float64 {
+	out := make([]float64, histBuckets)
+	copy(out[:], histBounds[:])
+	return out
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Names must appear in the declared schema (names.go) with
+// KindHistogram; sccvet's counter-drift analyzer enforces this at the
+// call site.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{reg: r, name: name}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// bucketIndex maps a value onto its bucket: the smallest i with
+// v <= histBounds[i], or histBuckets (overflow) when none holds.
+func bucketIndex(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	// ceil(log2(v/histBase)) via Frexp: v/histBase in [2^(e-1), 2^e).
+	frac, exp := math.Frexp(v / histBase)
+	i := exp
+	if frac == 0.5 { // exact power of two: 2^(exp-1)
+		i = exp - 1
+	}
+	if i >= histBuckets {
+		return histBuckets
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Observe folds one value into the distribution. NaN is dropped and
+// negative values clamp to zero (a duration histogram must never let a
+// stepped wall clock manufacture a negative latency).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.reg.disabled.Load() || math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration folds a duration, recorded in seconds (negative
+// durations clamp to zero like every Observe).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Merge folds other's buckets, count and sum into h. Both histograms
+// share the global bucket layout, so the merge is exact. Reading the
+// source concurrently with writers gives a point-in-time-per-field
+// view, same as Snapshot.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || h.reg.disabled.Load() {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	if s := math.Float64frombits(other.sumBits.Load()); s != 0 {
+		for {
+			old := h.sumBits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + s)
+			if h.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}
+
+// HistStats is the JSON snapshot of one histogram. Buckets are
+// per-bucket (non-cumulative) counts aligned with HistBounds(), with
+// one trailing overflow entry; the exposition layer cumulates them.
+type HistStats struct {
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Buckets []int64 `json:"buckets"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+}
+
+// Stats snapshots the histogram. Under concurrent writers each field
+// is individually atomic; the quantiles are computed from the bucket
+// snapshot so they are always internally consistent with Buckets.
+func (h *Histogram) Stats() HistStats {
+	var s HistStats
+	s.Buckets = make([]int64, histBuckets+1)
+	var total int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		total += n
+	}
+	// Count IS the bucket sum - there is no separate counter to tear
+	// against, so Count == sum(Buckets) holds in every snapshot, which
+	// cmd/metricscheck asserts and the Prometheus +Inf bucket relies on.
+	s.Count = total
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.P50 = histQuantile(s.Buckets, total, 0.50)
+	s.P95 = histQuantile(s.Buckets, total, 0.95)
+	s.P99 = histQuantile(s.Buckets, total, 0.99)
+	return s
+}
+
+// histQuantile estimates the q-quantile from per-bucket counts by
+// linear interpolation inside the containing bucket. The overflow
+// bucket has no finite upper bound; a quantile landing there reports
+// the last finite bound (a floor, matching Prometheus' convention of
+// clamping to the highest bucket).
+func histQuantile(buckets []int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= histBuckets {
+			return histBounds[histBuckets-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := histBounds[i]
+		frac := (rank - float64(prev)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return histBounds[histBuckets-1]
+}

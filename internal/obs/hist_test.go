@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-5, 0}, // Observe clamps, but bucketIndex must hold on its own
+		{1e-6, 0},
+		{1.0000001e-6, 1},
+		{2e-6, 1},
+		{2.0000001e-6, 2},
+		{1e-3, 10},          // 1e-6 * 2^10 = 1.024e-3 >= 1e-3, 2^9 = 5.12e-4 < 1e-3
+		{1, 20},             // 2^20 * 1e-6 = 1.048576 >= 1, 2^19 too small
+		{1e12, histBuckets}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every finite bound must land in its own bucket (inclusive upper).
+	for i, b := range HistBounds() {
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(bound[%d]=%g) = %d, want %d", i, b, got, i)
+		}
+	}
+}
+
+func TestHistogramObserveAndStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("serve.jobs.exec_seconds")
+	if r.Histogram("serve.jobs.exec_seconds") != h {
+		t.Fatal("same name must return the same histogram")
+	}
+	h.Observe(0.5e-6) // bucket 0
+	h.Observe(3e-6)   // bucket 2
+	h.Observe(-1)     // clamps to 0, bucket 0
+	h.Observe(math.NaN())
+	h.Observe(1e40) // overflow
+	st := h.Stats()
+	if st.Count != 4 {
+		t.Fatalf("count = %d, want 4 (NaN dropped)", st.Count)
+	}
+	var sum int64
+	for _, n := range st.Buckets {
+		sum += n
+	}
+	if sum != st.Count {
+		t.Fatalf("sum(buckets) = %d != count %d", sum, st.Count)
+	}
+	if st.Buckets[0] != 2 || st.Buckets[2] != 1 || st.Buckets[histBuckets] != 1 {
+		t.Fatalf("bucket layout wrong: %v", st.Buckets)
+	}
+	if want := 0.5e-6 + 3e-6 + 0 + 1e40; st.Sum != want {
+		t.Fatalf("sum = %g, want %g", st.Sum, want)
+	}
+	if !(st.P50 <= st.P95 && st.P95 <= st.P99) {
+		t.Fatalf("quantiles not monotone: p50=%g p95=%g p99=%g", st.P50, st.P95, st.P99)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("q")
+	// 100 observations of ~1ms: all land in one bucket, so every
+	// quantile must interpolate inside that bucket's bounds.
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-3)
+	}
+	st := h.Stats()
+	lo, hi := HistBounds()[9], HistBounds()[10]
+	for _, q := range []float64{st.P50, st.P95, st.P99} {
+		if q < lo || q > hi {
+			t.Fatalf("quantile %g outside containing bucket [%g, %g]", q, lo, hi)
+		}
+	}
+	// Overflow-only distribution clamps to the last finite bound.
+	h2 := r.Histogram("q2")
+	h2.Observe(1e9)
+	bounds := HistBounds()
+	if st2 := h2.Stats(); st2.P99 != bounds[len(bounds)-1] {
+		t.Fatalf("overflow p99 = %g, want last bound %g", st2.P99, bounds[len(bounds)-1])
+	}
+	// Empty distribution: all zero.
+	if st3 := r.Histogram("q3").Stats(); st3.P50 != 0 || st3.Count != 0 {
+		t.Fatalf("empty histogram stats not zero: %+v", st3)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := New()
+	a, b := r.Histogram("a"), r.Histogram("b")
+	for i := 0; i < 10; i++ {
+		a.Observe(1e-3)
+		b.Observe(1e-1)
+	}
+	a.Merge(b)
+	st := a.Stats()
+	if st.Count != 20 {
+		t.Fatalf("merged count = %d, want 20", st.Count)
+	}
+	if want := 10*1e-3 + 10*1e-1; math.Abs(st.Sum-want) > 1e-12 {
+		t.Fatalf("merged sum = %g, want %g", st.Sum, want)
+	}
+	a.Merge(nil) // nil-safe
+	var nilH *Histogram
+	nilH.Observe(1) // nil-safe
+	nilH.Merge(a)
+}
+
+func TestHistogramDisabledRegistryDropsObservations(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	r.SetEnabled(false)
+	h.Observe(1)
+	if st := h.Stats(); st.Count != 0 {
+		t.Fatalf("disabled histogram recorded %d observations", st.Count)
+	}
+	r.SetEnabled(true)
+	h.Observe(1)
+	if st := h.Stats(); st.Count != 1 {
+		t.Fatalf("re-enabled histogram count = %d, want 1", st.Count)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("c")
+	const g, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(g)
+	for i := 0; i < g; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(1e-3)
+			}
+		}()
+	}
+	wg.Wait()
+	st := h.Stats()
+	if st.Count != g*per {
+		t.Fatalf("count = %d, want %d", st.Count, g*per)
+	}
+	if want := float64(g*per) * 1e-3; math.Abs(st.Sum-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", st.Sum, want)
+	}
+}
+
+func TestHistogramInSnapshot(t *testing.T) {
+	r := New()
+	r.Histogram("serve.jobs.exec_seconds").Observe(0.25)
+	d := r.Snapshot()
+	st, ok := d.Histograms["serve.jobs.exec_seconds"]
+	if !ok {
+		t.Fatal("snapshot missing histogram")
+	}
+	if st.Count != 1 || len(st.Buckets) != histBuckets+1 {
+		t.Fatalf("snapshot histogram malformed: count=%d buckets=%d", st.Count, len(st.Buckets))
+	}
+	if _, err := r.SnapshotJSON(); err != nil {
+		t.Fatalf("SnapshotJSON: %v", err)
+	}
+}

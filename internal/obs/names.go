@@ -21,8 +21,12 @@ const (
 	KindGauge   = "gauge"
 	KindTimer   = "timer"
 	KindSample  = "sample"
+	// KindHistogram declares a log-bucketed distribution (Registry.
+	// Histogram) with the shared HistBounds bucket ladder.
+	KindHistogram = "histogram"
 	// KindPool declares a worker-pool prefix; Registry.Pool derives
-	// <prefix>.tasks (counter), <prefix>.task_seconds (timer) and
+	// <prefix>.tasks (counter), <prefix>.task_seconds (timer),
+	// <prefix>.task_duration_seconds (histogram) and
 	// <prefix>.occupancy (sample) from it.
 	KindPool = "pool"
 )
@@ -30,9 +34,10 @@ const (
 // poolSuffixes maps each name Registry.Pool derives from its prefix onto
 // the kind of the derived metric.
 var poolSuffixes = map[string]string{
-	".tasks":        KindCounter,
-	".task_seconds": KindTimer,
-	".occupancy":    KindSample,
+	".tasks":                 KindCounter,
+	".task_seconds":          KindTimer,
+	".task_duration_seconds": KindHistogram,
+	".occupancy":             KindSample,
 }
 
 var schema = map[string]string{
@@ -82,22 +87,26 @@ var schema = map[string]string{
 	"spmv.parallel": KindPool,
 
 	// internal/serve job daemon and result store.
-	"serve.jobs.submitted":   KindCounter,
-	"serve.jobs.cache_hits":  KindCounter,
-	"serve.jobs.coalesced":   KindCounter,
-	"serve.jobs.completed":   KindCounter,
-	"serve.jobs.failed":      KindCounter,
-	"serve.jobs.cancelled":   KindCounter,
-	"serve.jobs.rejected":    KindCounter,
-	"serve.jobs.running":     KindGauge,
-	"serve.jobs.queued":      KindGauge,
-	"serve.store.hits":       KindCounter,
-	"serve.store.misses":     KindCounter,
-	"serve.store.evictions":  KindCounter,
-	"serve.store.used_bytes": KindGauge,
-	"serve.store.resident":   KindGauge,
-	"serve.worker":           KindPool,
-	"serve.run":              KindPool,
+	"serve.jobs.submitted":  KindCounter,
+	"serve.jobs.cache_hits": KindCounter,
+	"serve.jobs.coalesced":  KindCounter,
+	"serve.jobs.completed":  KindCounter,
+	"serve.jobs.failed":     KindCounter,
+	"serve.jobs.cancelled":  KindCounter,
+	"serve.jobs.rejected":   KindCounter,
+	"serve.jobs.running":    KindGauge,
+	"serve.jobs.queued":     KindGauge,
+	// Per-job latency distributions: time spent queued before a worker
+	// picked the job up, and execution wall time.
+	"serve.jobs.queue_wait_seconds": KindHistogram,
+	"serve.jobs.exec_seconds":       KindHistogram,
+	"serve.store.hits":              KindCounter,
+	"serve.store.misses":            KindCounter,
+	"serve.store.evictions":         KindCounter,
+	"serve.store.used_bytes":        KindGauge,
+	"serve.store.resident":          KindGauge,
+	"serve.worker":                  KindPool,
+	"serve.run":                     KindPool,
 
 	// cmd/sccsimd loopback selfcheck.
 	"sccsimd.selfcheck": KindPool,

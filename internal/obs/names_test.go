@@ -5,7 +5,7 @@ import "testing"
 func TestMetricSchemaKindsAreValid(t *testing.T) {
 	valid := map[string]bool{
 		KindCounter: true, KindGauge: true, KindTimer: true,
-		KindSample: true, KindPool: true,
+		KindSample: true, KindHistogram: true, KindPool: true,
 	}
 	for name, kind := range MetricSchema() {
 		if name == "" {
@@ -35,6 +35,7 @@ func TestRequiredEngineCountersAreDeclared(t *testing.T) {
 func TestKnownMetricNamePoolDerivation(t *testing.T) {
 	for _, name := range []string{
 		"sim.ue_walk.tasks", "sim.ue_walk.task_seconds", "sim.ue_walk.occupancy",
+		"sim.ue_walk.task_duration_seconds", "experiments.cell.task_duration_seconds",
 		"serve.worker.tasks", "experiments.cell.occupancy",
 	} {
 		if !KnownMetricName(name) {

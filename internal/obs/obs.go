@@ -27,12 +27,13 @@ type Registry struct {
 	disabled atomic.Bool // zero value = enabled
 	start    time.Time
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
-	samples  map[string]*Sample
-	spans    []*Span
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	samples    map[string]*Sample
+	histograms map[string]*Histogram
+	spans      []*Span
 }
 
 // Default is the process-wide registry every instrumented package
@@ -42,11 +43,12 @@ var Default = New()
 // New builds an enabled, empty registry.
 func New() *Registry {
 	return &Registry{
-		start:    time.Now(),
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
-		samples:  make(map[string]*Sample),
+		start:      now(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		samples:    make(map[string]*Sample),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -203,10 +205,13 @@ func (s *Sample) Stats() SampleStats {
 // Timer is a Sample whose unit is seconds.
 type Timer struct{ s Sample }
 
-// Observe records one duration.
+// Observe records one duration. Negative durations clamp to zero: all
+// engine call sites measure via the monotonic-safe since()/Since, but a
+// caller handing in wall-clock arithmetic must still never push a
+// negative value into the distribution.
 func (t *Timer) Observe(d time.Duration) {
 	if t != nil {
-		t.s.Observe(d.Seconds())
+		t.s.Observe(ClampDuration(d).Seconds())
 	}
 }
 
@@ -237,6 +242,7 @@ type SnapshotData struct {
 	Gauges      map[string]int64       `json:"gauges"`
 	Timers      map[string]SampleStats `json:"timers"`
 	Samples     map[string]SampleStats `json:"samples"`
+	Histograms  map[string]HistStats   `json:"histograms,omitempty"`
 	Spans       []*SpanSnapshot        `json:"spans,omitempty"`
 }
 
@@ -251,12 +257,18 @@ func (r *Registry) Snapshot() *SnapshotData {
 	defer r.mu.Unlock()
 	d := &SnapshotData{
 		Schema:      SnapshotSchema,
-		UnixTime:    time.Now().Unix(),
-		WallSeconds: time.Since(r.start).Seconds(),
+		UnixTime:    now().Unix(),
+		WallSeconds: since(r.start).Seconds(),
 		Counters:    make(map[string]uint64, len(r.counters)),
 		Gauges:      make(map[string]int64, len(r.gauges)),
 		Timers:      make(map[string]SampleStats, len(r.timers)),
 		Samples:     make(map[string]SampleStats, len(r.samples)),
+	}
+	if len(r.histograms) > 0 {
+		d.Histograms = make(map[string]HistStats, len(r.histograms))
+		for n, h := range r.histograms {
+			d.Histograms[n] = h.Stats()
+		}
 	}
 	for n, c := range r.counters {
 		d.Counters[n] = c.Load()
@@ -303,6 +315,14 @@ func sanitize(d *SnapshotData) *SnapshotData {
 	}
 	for n, st := range d.Samples {
 		d.Samples[n] = fix(st)
+	}
+	for n, st := range d.Histograms {
+		for _, p := range []*float64{&st.Sum, &st.P50, &st.P95, &st.P99} {
+			if math.IsNaN(*p) || math.IsInf(*p, 0) {
+				*p = 0
+			}
+		}
+		d.Histograms[n] = st
 	}
 	return d
 }

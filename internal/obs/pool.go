@@ -2,9 +2,9 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Pool is the one instrumented fan-out helper the engine uses for both
@@ -25,20 +25,27 @@ type Pool struct {
 	// experiments.cell the per-cell wall time).
 	Tasks    *Counter
 	TaskTime *Timer
+	// TaskHist is the log-bucketed form of TaskTime: the latency
+	// distribution Prometheus scrapes as <prefix>_task_duration_seconds.
+	TaskHist *Histogram
 	// Occupancy samples the number of concurrently running tasks at
 	// each task start; its max is the pool's high-water mark.
 	Occupancy *Sample
 
-	busy atomic.Int64
+	prefix string
+	busy   atomic.Int64
 }
 
 // Pool returns an instrumented pool registering its metrics as
-// <prefix>.tasks, <prefix>.task_seconds and <prefix>.occupancy.
+// <prefix>.tasks, <prefix>.task_seconds, <prefix>.task_duration_seconds
+// and <prefix>.occupancy.
 func (r *Registry) Pool(prefix string) *Pool {
 	return &Pool{
 		Tasks:     r.Counter(prefix + ".tasks"),
 		TaskTime:  r.Timer(prefix + ".task_seconds"),
+		TaskHist:  r.Histogram(prefix + ".task_duration_seconds"),
 		Occupancy: r.Sample(prefix + ".occupancy"),
+		prefix:    prefix,
 	}
 }
 
@@ -60,6 +67,7 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) e
 	if ctx == nil {
 		ctx = context.Background() //sccvet:allow ctx-propagation documented nil-means-Background fallback for callers without a context
 	}
+	rec := RecorderFrom(ctx)
 	if workers > n {
 		workers = n
 	}
@@ -68,7 +76,7 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			p.run(i, fn)
+			p.run(rec, 0, i, fn)
 		}
 		return ctx.Err()
 	}
@@ -76,12 +84,12 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) e
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				p.run(i, fn)
+				p.run(rec, w, i, fn)
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := 0; i < n; i++ {
@@ -96,13 +104,22 @@ dispatch:
 	return ctx.Err()
 }
 
-// run executes one task under the pool's accounting.
-func (p *Pool) run(i int, fn func(int)) {
+// run executes one task under the pool's accounting. w is the worker
+// slot executing the task (0 on the serial path); when the context
+// carried a flight recorder, the task lands on track "<prefix>/w<w>",
+// giving the trace export one timeline row per pool worker.
+func (p *Pool) run(rec *Recorder, w, i int, fn func(int)) {
 	cur := p.busy.Add(1)
 	p.Occupancy.Observe(float64(cur))
-	start := time.Now()
+	start := now()
 	fn(i)
-	p.TaskTime.Observe(time.Since(start))
+	d := since(start)
+	p.TaskTime.Observe(d)
+	p.TaskHist.Observe(d.Seconds())
 	p.Tasks.Add(1)
 	p.busy.Add(-1)
+	if rec != nil {
+		rec.RecordDur(fmt.Sprintf("%s/w%d", p.prefix, w), "task",
+			fmt.Sprintf("%s[%d]", p.prefix, i), "", d)
+	}
 }

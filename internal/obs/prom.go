@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4), standard library
+// only. The registry's flat dotted namespace maps onto Prometheus
+// families by mangling every non-[a-zA-Z0-9_] rune to '_':
+//
+//	counters    <name>_total                      counter
+//	gauges      <name>                            gauge
+//	timers /    <name>_sum, <name>_count          summary
+//	samples     <name>_min, <name>_max            gauge (separate families)
+//	histograms  <name>_bucket{le="..."}, _sum,
+//	            _count                            histogram (cumulative)
+//
+// Families are emitted sorted, so the output is diff-stable and a
+// scrape is byte-reproducible for a fixed registry state.
+
+// PromContentType is the Content-Type a /metrics handler must serve.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName mangles a dotted registry name into a legal Prometheus
+// metric name. The mapping is shared with cmd/metricscheck, which
+// builds its known-family set by mangling the JSON snapshot's names.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value; Prometheus accepts Go's shortest
+// round-trip float form plus +Inf/-Inf/NaN (which sanitize removes).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus snapshots the registry and writes the exposition.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusSnapshot(w, sanitize(r.Snapshot()))
+}
+
+// PrometheusText renders the registry's exposition as bytes.
+func (r *Registry) PrometheusText() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WritePrometheusSnapshot writes d in Prometheus text format. The
+// snapshot should be sanitize()d (SnapshotJSON's path already is);
+// non-finite values would otherwise leak into the text verbatim.
+func WritePrometheusSnapshot(w io.Writer, d *SnapshotData) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(d.Counters))
+	for n := range d.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := PromName(n) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", fam, fam, d.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range d.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", fam, fam, d.Gauges[n])
+	}
+
+	writeSummary := func(n string, st SampleStats) {
+		fam := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", fam)
+		fmt.Fprintf(bw, "%s_sum %s\n", fam, promFloat(st.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", fam, st.Count)
+		fmt.Fprintf(bw, "# TYPE %s_min gauge\n%s_min %s\n", fam, fam, promFloat(st.Min))
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n%s_max %s\n", fam, fam, promFloat(st.Max))
+	}
+	names = names[:0]
+	for n := range d.Timers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeSummary(n, d.Timers[n])
+	}
+	names = names[:0]
+	for n := range d.Samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeSummary(n, d.Samples[n])
+	}
+
+	names = names[:0]
+	for n := range d.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bounds := HistBounds()
+	for _, n := range names {
+		st := d.Histograms[n]
+		fam := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for i, b := range bounds {
+			if i < len(st.Buckets) {
+				cum += st.Buckets[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", fam, promFloat(b), cum)
+		}
+		if len(st.Buckets) > len(bounds) {
+			cum += st.Buckets[len(bounds)]
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", fam, promFloat(st.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", fam, cum)
+	}
+
+	return bw.Flush()
+}
+
+// LintPrometheus validates a text exposition: every line parses, every
+// sample belongs to a family a preceding # TYPE line declared, counter
+// and histogram sample suffixes match their declared type, histogram
+// buckets are cumulative over ascending le bounds with a +Inf bucket
+// equal to _count, and _sum/_count are present wherever buckets are.
+// When known is non-nil, every family name must satisfy it - the hook
+// cmd/metricscheck uses to pin the exposition to the declared schema.
+func LintPrometheus(data []byte, known func(family string) bool) error {
+	type histState struct {
+		prev     float64 // last le bound
+		prevCum  int64   // last cumulative bucket value
+		buckets  int
+		inf      bool
+		infVal   int64
+		sum      bool
+		count    bool
+		countVal int64
+	}
+	types := map[string]string{}
+	hists := map[string]*histState{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("prom line %d: malformed TYPE: %q", lineNo, line)
+				}
+				fam, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("prom line %d: unknown type %q for %s", lineNo, typ, fam)
+				}
+				if prev, dup := types[fam]; dup && prev != typ {
+					return fmt.Errorf("prom line %d: family %s re-declared as %s (was %s)", lineNo, fam, typ, prev)
+				}
+				types[fam] = typ
+				if typ == "histogram" {
+					hists[fam] = &histState{prev: math.Inf(-1)}
+				}
+				if known != nil && !known(fam) {
+					return fmt.Errorf("prom line %d: family %s not in the declared schema", lineNo, fam)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("prom line %d: %v", lineNo, err)
+		}
+		fam, sampleKind := promFamily(name, labels, types)
+		if fam == "" {
+			return fmt.Errorf("prom line %d: sample %s has no preceding # TYPE declaration", lineNo, name)
+		}
+		h := hists[fam]
+		switch sampleKind {
+		case "bucket":
+			if h == nil {
+				return fmt.Errorf("prom line %d: %s_bucket outside a histogram family", lineNo, fam)
+			}
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("prom line %d: histogram bucket without le label", lineNo)
+			}
+			cum := int64(value)
+			if le == "+Inf" {
+				h.inf, h.infVal = true, cum
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("prom line %d: bad le %q: %v", lineNo, le, err)
+				}
+				if bound <= h.prev {
+					return fmt.Errorf("prom line %d: %s le bounds not ascending (%g after %g)", lineNo, fam, bound, h.prev)
+				}
+				if h.inf {
+					return fmt.Errorf("prom line %d: %s finite bucket after +Inf", lineNo, fam)
+				}
+				h.prev = bound
+			}
+			if cum < h.prevCum {
+				return fmt.Errorf("prom line %d: %s buckets not cumulative (%d after %d)", lineNo, fam, cum, h.prevCum)
+			}
+			h.prevCum = cum
+			h.buckets++
+		case "sum":
+			if h != nil {
+				h.sum = true
+			}
+		case "count":
+			if h != nil {
+				h.count, h.countVal = true, int64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("prom scan: %v", err)
+	}
+	for fam, h := range hists {
+		if h.buckets == 0 {
+			return fmt.Errorf("prom: histogram %s has no buckets", fam)
+		}
+		if !h.inf {
+			return fmt.Errorf("prom: histogram %s missing +Inf bucket", fam)
+		}
+		if !h.sum {
+			return fmt.Errorf("prom: histogram %s missing _sum", fam)
+		}
+		if !h.count {
+			return fmt.Errorf("prom: histogram %s missing _count", fam)
+		}
+		if h.infVal != h.countVal {
+			return fmt.Errorf("prom: histogram %s +Inf bucket %d != _count %d", fam, h.infVal, h.countVal)
+		}
+	}
+	return nil
+}
+
+// promFamily resolves a sample name to its declared family and the
+// sample's role within it ("bucket", "sum", "count" or "").
+func promFamily(name string, labels map[string]string, types map[string]string) (string, string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+			return base, suffix[1:]
+		}
+	}
+	_ = labels
+	return "", ""
+}
+
+// parsePromSample splits one exposition sample line into name, labels
+// and value. Timestamps (a trailing integer) are accepted and ignored.
+func parsePromSample(line string) (string, map[string]string, float64, error) {
+	name := line
+	labels := map[string]string{}
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unbalanced labels in %q", line)
+		}
+		name = line[:i]
+		for _, pair := range splitPromLabels(line[i+1 : j]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("label %s value %s: %v", k, v, err)
+			}
+			labels[k] = uq
+		}
+		line = line[j+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		line = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q has %d value fields", name, len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s value %q: %v", name, fields[0], err)
+	}
+	if !promNameOK(name) {
+		return "", nil, 0, fmt.Errorf("illegal metric name %q", name)
+	}
+	return name, labels, v, nil
+}
+
+// splitPromLabels splits a label body on commas outside quotes.
+func splitPromLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+// promNameOK reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim.flops.simulated":           "sim_flops_simulated",
+		"serve.jobs.queue_wait_seconds": "serve_jobs_queue_wait_seconds",
+		"a-b.c/d":                       "a_b_c_d",
+		"9lives":                        "_lives", // leading digit is illegal
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameOK(PromName(in)) {
+			t.Errorf("PromName(%q) produced illegal name %q", in, PromName(in))
+		}
+	}
+}
+
+// populated builds a registry exercising every metric kind.
+func populated() *Registry {
+	r := New()
+	r.Counter("sim.flops.simulated").Add(42)
+	r.Gauge("serve.jobs.running").Set(3)
+	r.Timer("experiments.matrix.fetch_seconds").Observe(30 * time.Millisecond)
+	r.Sample("mem.mc0.slowdown").Observe(1.5)
+	h := r.Histogram("serve.jobs.exec_seconds")
+	h.Observe(0.001)
+	h.Observe(0.1)
+	h.Observe(5)
+	return r
+}
+
+func TestPrometheusWriteAndLintRoundTrip(t *testing.T) {
+	r := populated()
+	text, err := r.PrometheusText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(text)
+	for _, want := range []string{
+		"# TYPE sim_flops_simulated_total counter",
+		"sim_flops_simulated_total 42",
+		"# TYPE serve_jobs_running gauge",
+		"serve_jobs_running 3",
+		"# TYPE experiments_matrix_fetch_seconds summary",
+		"experiments_matrix_fetch_seconds_count 1",
+		"# TYPE serve_jobs_exec_seconds histogram",
+		`serve_jobs_exec_seconds_bucket{le="+Inf"} 3`,
+		"serve_jobs_exec_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if err := LintPrometheus(text, nil); err != nil {
+		t.Fatalf("lint rejected our own exposition: %v", err)
+	}
+	// Histogram buckets must be cumulative: the +Inf value is the max.
+	if err := LintPrometheus(text, func(fam string) bool { return true }); err != nil {
+		t.Fatalf("lint with permissive known set: %v", err)
+	}
+}
+
+func TestLintPrometheusKnownSet(t *testing.T) {
+	text, err := populated().PrometheusText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = LintPrometheus(text, func(fam string) bool {
+		return fam != "serve_jobs_running"
+	})
+	if err == nil || !strings.Contains(err.Error(), "serve_jobs_running") {
+		t.Fatalf("lint should reject unknown family, got %v", err)
+	}
+}
+
+func TestLintPrometheusCatchesCorruption(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE": "foo_total 3\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"descending le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_sum 1\nh_count 1\n",
+		"inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"bad value":    "# TYPE g gauge\ng banana\n",
+		"illegal name": "# TYPE g gauge\ng 1\n9bad 2\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheus([]byte(text), nil); err == nil {
+			t.Errorf("%s: lint accepted corrupt exposition:\n%s", name, text)
+		}
+	}
+	// A well-formed hand-written exposition passes.
+	good := "# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1.5\nh_count 2\n"
+	if err := LintPrometheus([]byte(good), nil); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestWritePrometheusCoversWholeSnapshot(t *testing.T) {
+	// Every registry name must surface as at least one family.
+	r := populated()
+	text, err := r.PrometheusText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Snapshot()
+	var names []string
+	for n := range d.Counters {
+		names = append(names, PromName(n)+"_total")
+	}
+	for n := range d.Gauges {
+		names = append(names, PromName(n))
+	}
+	for n := range d.Timers {
+		names = append(names, PromName(n)+"_sum")
+	}
+	for n := range d.Samples {
+		names = append(names, PromName(n)+"_sum")
+	}
+	for n := range d.Histograms {
+		names = append(names, PromName(n)+"_bucket")
+	}
+	for _, n := range names {
+		if !strings.Contains(string(text), n) {
+			t.Errorf("exposition missing %s", n)
+		}
+	}
+}

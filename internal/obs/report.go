@@ -40,7 +40,7 @@ func NewReporter(reg *Registry, w io.Writer, interval time.Duration) *Reporter {
 		w:        w,
 		interval: interval,
 		prev:     make(map[string]uint64),
-		last:     time.Now(),
+		last:     now(),
 	}
 }
 
@@ -88,10 +88,15 @@ func (r *Reporter) Stop() {
 // nonzero counter as name=value(+rate/s).
 func (r *Reporter) tick() {
 	snap := r.reg.Snapshot()
-	now := time.Now()
+	ts := now()
 
 	r.mu.Lock()
-	dt := now.Sub(r.last).Seconds()
+	// since() semantics by hand: a stepped clock must not yield a
+	// negative interval (which would flip the rate's sign).
+	dt := ts.Sub(r.last).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
 	names := make([]string, 0, len(snap.Counters))
 	for n, v := range snap.Counters {
 		if v > 0 {
@@ -111,7 +116,7 @@ func (r *Reporter) tick() {
 		}
 		r.prev[n] = v
 	}
-	r.last = now
+	r.last = ts
 	r.mu.Unlock()
 
 	fmt.Fprintln(r.w, b.String())

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpanSnapshotRacesChildLifecycle snapshots a span continuously
+// while children are created, recorded into and finished concurrently -
+// the daemon's status endpoint does exactly this to a running job. Run
+// under -race (the race target includes this package).
+func TestSpanSnapshotRacesChildLifecycle(t *testing.T) {
+	r := New()
+	root := r.StartDetachedSpan("job")
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := root.Snapshot()
+			if snap == nil || snap.Name != "job" {
+				t.Error("snapshot lost the span")
+				return
+			}
+			for _, c := range snap.Children {
+				if c.Seconds < 0 {
+					t.Errorf("child %q negative duration", c.Name)
+					return
+				}
+			}
+		}
+	}()
+
+	const workers, spansEach = 4, 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansEach; i++ {
+				c := root.StartChild(fmt.Sprintf("cell:%d.%d", w, i))
+				c.Record("ue_walk", 0)
+				c.End()
+				c.End() // double-End stays a no-op under race too
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+
+	snap := root.Snapshot()
+	// Cap + rollup: explicit children bounded, nothing lost in total.
+	if len(snap.Children) > maxSpanChildren {
+		t.Fatalf("children %d exceed cap %d", len(snap.Children), maxSpanChildren)
+	}
+	if got := len(snap.Children) + snap.Dropped; got != workers*spansEach {
+		t.Fatalf("children+dropped = %d, want %d", got, workers*spansEach)
+	}
+}
+
+// TestCounterScopeDeltasWithNamesAddedMidJob pins the documented
+// semantics: counters registered AFTER the baseline count from zero,
+// and Deltas racing new-name registration is safe.
+func TestCounterScopeDeltasWithNamesAddedMidJob(t *testing.T) {
+	r := New()
+	r.Counter("before").Add(10)
+	scope := r.ScopeCounters()
+	r.Counter("before").Add(5)
+	r.Counter("after").Add(7) // name did not exist at baseline
+
+	d := scope.Deltas()
+	if d["before"] != 5 {
+		t.Fatalf(`Deltas["before"] = %d, want 5`, d["before"])
+	}
+	if d["after"] != 7 {
+		t.Fatalf(`Deltas["after"] = %d, want 7 (new names count from zero)`, d["after"])
+	}
+	if scope.Delta("after") != 7 || scope.Delta("missing") != 0 {
+		t.Fatal("Delta on new/unknown names broke")
+	}
+
+	// Race: one goroutine keeps registering fresh names and bumping
+	// them while another reads Deltas.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter(fmt.Sprintf("dyn.%d", i%50)).Add(1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			for n, v := range scope.Deltas() {
+				if v == 0 {
+					t.Errorf("zero delta for %q leaked", n)
+					return
+				}
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}

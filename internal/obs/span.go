@@ -37,7 +37,7 @@ type rollupEntry struct {
 }
 
 func newSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: now()}
 }
 
 // StartSpan opens a root span and tracks it in the registry so the
@@ -59,7 +59,7 @@ func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: now()}
 	s.mu.Lock()
 	if len(s.children) < maxSpanChildren {
 		s.children = append(s.children, c)
@@ -80,7 +80,7 @@ func (s *Span) End() {
 	var done time.Duration
 	report := false
 	if !s.ended {
-		done = time.Since(s.start)
+		done = since(s.start)
 		s.ended = true
 		s.durSec = done.Seconds()
 		report = s.capped != nil
@@ -112,14 +112,18 @@ func (s *Span) Record(name string, d time.Duration) {
 	s.mu.Unlock()
 }
 
-// SpanSnapshot is the JSON form of a span subtree.
+// SpanSnapshot is the JSON form of a span subtree. StartUnixNano is the
+// span's wall-clock start (additive field; older readers ignore it) -
+// the trace-event exporter needs absolute starts to place spans on a
+// shared timeline, which durations alone cannot reconstruct.
 type SpanSnapshot struct {
-	Name     string                  `json:"name"`
-	Seconds  float64                 `json:"seconds"`
-	Running  bool                    `json:"running,omitempty"`
-	Children []*SpanSnapshot         `json:"children,omitempty"`
-	Dropped  int                     `json:"dropped_children,omitempty"`
-	Rollup   map[string]RollupCounts `json:"rollup,omitempty"`
+	Name          string                  `json:"name"`
+	StartUnixNano int64                   `json:"start_unix_nano,omitempty"`
+	Seconds       float64                 `json:"seconds"`
+	Running       bool                    `json:"running,omitempty"`
+	Children      []*SpanSnapshot         `json:"children,omitempty"`
+	Dropped       int                     `json:"dropped_children,omitempty"`
+	Rollup        map[string]RollupCounts `json:"rollup,omitempty"`
 }
 
 // RollupCounts aggregates same-named events recorded under a span.
@@ -134,10 +138,15 @@ func (s *Span) snapshot() *SpanSnapshot {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := &SpanSnapshot{Name: s.name, Seconds: s.durSec, Dropped: s.dropped}
+	out := &SpanSnapshot{
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		Seconds:       s.durSec,
+		Dropped:       s.dropped,
+	}
 	if !s.ended {
 		out.Running = true
-		out.Seconds = time.Since(s.start).Seconds()
+		out.Seconds = since(s.start).Seconds()
 	}
 	for _, c := range s.children {
 		out.Children = append(out.Children, c.snapshot())

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceJSONFromSpansAndFlight(t *testing.T) {
+	clk := &steppedClock{t: time.Unix(3000, 0)}
+	defer setClock(clk.now)()
+
+	r := New()
+	root := r.StartDetachedSpan("job:j1")
+	clk.step(10 * time.Millisecond)
+	child := root.StartChild("exp:fig3")
+	clk.step(20 * time.Millisecond)
+	child.End()
+	root.End()
+
+	rec := NewRecorder(16)
+	rec.Record("serve.job", "state", "queued", "")
+	clk.step(5 * time.Millisecond)
+	rec.RecordDur("experiments.cell/w0", "task", "experiments.cell[0]", "", 5*time.Millisecond)
+	rec.Record("sparse.matrix_cache", "cache_evict", "evict", "m1")
+
+	blob, err := TraceJSON([]*SpanSnapshot{root.Snapshot()}, rec.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LintTrace(blob); err != nil {
+		t.Fatalf("our own trace fails lint: %v", err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			ID   string  `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(blob, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	for _, e := range f.TraceEvents {
+		counts[e.Ph]++
+		if e.Ph == "b" || e.Ph == "e" {
+			if e.ID == "" {
+				t.Fatalf("async span event %q has no id", e.Name)
+			}
+		}
+	}
+	if counts["b"] != 2 || counts["e"] != 2 {
+		t.Fatalf("want 2 span begin/end pairs, got b=%d e=%d", counts["b"], counts["e"])
+	}
+	if counts["X"] != 1 {
+		t.Fatalf("want 1 complete task event, got %d", counts["X"])
+	}
+	if counts["i"] != 2 {
+		t.Fatalf("want 2 instants, got %d", counts["i"])
+	}
+	if counts["M"] < 4 { // process + spans row + 3 flight tracks
+		t.Fatalf("want >=4 metadata events, got %d", counts["M"])
+	}
+
+	tracks, err := TraceTrackNames(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"spans": false, "serve.job": false,
+		"experiments.cell/w0": false, "sparse.matrix_cache": false,
+	}
+	for _, n := range tracks {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("trace missing track %q (have %v)", n, tracks)
+		}
+	}
+}
+
+func TestTraceJSONEmptyInputsStillValid(t *testing.T) {
+	blob, err := TraceJSON(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process metadata alone keeps the file loadable.
+	if err := LintTrace(blob); err != nil {
+		t.Fatalf("empty trace fails lint: %v", err)
+	}
+}
+
+func TestTraceJSONWorkerTracksFromPool(t *testing.T) {
+	r := New()
+	rec := NewRecorder(64)
+	ctx := WithRecorder(context.Background(), rec)
+	p := r.Pool("sim.ue_walk")
+	if err := p.ForEachCtx(ctx, 8, 4, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := TraceJSON(nil, rec.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := TraceTrackNames(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerTracks := 0
+	for _, n := range tracks {
+		if len(n) > len("sim.ue_walk/") && n[:len("sim.ue_walk/")] == "sim.ue_walk/" {
+			workerTracks++
+		}
+	}
+	if workerTracks < 1 || workerTracks > 4 {
+		t.Fatalf("want 1..4 worker tracks, got %d (%v)", workerTracks, tracks)
+	}
+}
+
+func TestLintTraceRejectsGarbage(t *testing.T) {
+	for name, blob := range map[string]string{
+		"not json":    "hello",
+		"empty":       `{"traceEvents":[]}`,
+		"no ph":       `{"traceEvents":[{"name":"x"}]}`,
+		"no name":     `{"traceEvents":[{"ph":"X","ts":1}]}`,
+		"negative ts": `{"traceEvents":[{"ph":"X","name":"x","ts":-5}]}`,
+	} {
+		if err := LintTrace([]byte(blob)); err == nil {
+			t.Errorf("%s: LintTrace accepted %s", name, blob)
+		}
+	}
+}

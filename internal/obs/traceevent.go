@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Chrome trace-event / Perfetto JSON export. TraceJSON renders a span
+// tree plus a flight-recorder tail as one timeline:
+//
+//   - every span becomes an async begin/end pair ("b"/"e") with a
+//     unique id - async, not complete ("X"), because sibling spans
+//     genuinely overlap in time (parallel matrices, parallel cells)
+//     and overlapping X events on one thread row are undefined in the
+//     trace format;
+//   - flight events with a duration (pool tasks, matrix fetches)
+//     become complete events ("X") on the thread row named by their
+//     Track, so each pool worker gets its own lane;
+//   - instant flight events (cache hits/evictions, state transitions,
+//     watchdog ticks, fault injections) become thread-scoped instants
+//     ("i") on their Track's row;
+//   - metadata events ("M") name the process and every thread row.
+//
+// Timestamps are microseconds from the earliest moment in the capture,
+// so the viewer opens at t=0 regardless of wall-clock epoch.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// TraceJSON renders spans and an optional flight snapshot as a Chrome
+// trace-event JSON object (the format Perfetto's "Open trace file"
+// accepts). Either argument may be empty/nil.
+func TraceJSON(spans []*SpanSnapshot, flight *FlightSnapshot) ([]byte, error) {
+	// Epoch: the earliest start among spans and events.
+	var t0 int64
+	seen := false
+	consider := func(ns int64) {
+		if ns > 0 && (!seen || ns < t0) {
+			t0, seen = ns, true
+		}
+	}
+	var walkStart func(s *SpanSnapshot)
+	walkStart = func(s *SpanSnapshot) {
+		if s == nil {
+			return
+		}
+		consider(s.StartUnixNano)
+		for _, c := range s.Children {
+			walkStart(c)
+		}
+	}
+	for _, s := range spans {
+		walkStart(s)
+	}
+	if flight != nil {
+		for _, e := range flight.Events {
+			consider(e.UnixNano - e.DurNanos)
+		}
+	}
+	usec := func(ns int64) float64 {
+		if ns < t0 {
+			ns = t0
+		}
+		return float64(ns-t0) / 1e3
+	}
+
+	out := &traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+			Args: map[string]any{"name": "sccsim"}},
+	}}
+
+	// Thread rows: tid 1 is the span tree; flight tracks get stable
+	// tids in first-appearance order.
+	const spanTid = 1
+	out.TraceEvents = append(out.TraceEvents, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: tracePid, Tid: spanTid,
+		Args: map[string]any{"name": "spans"},
+	})
+	tids := map[string]int{}
+	nextTid := spanTid + 1
+	trackTid := func(track string) int {
+		if track == "" {
+			track = "events"
+		}
+		tid, ok := tids[track]
+		if !ok {
+			tid = nextTid
+			nextTid++
+			tids[track] = tid
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+				Args: map[string]any{"name": track},
+			})
+		}
+		return tid
+	}
+	if flight != nil {
+		// Pre-register tracks sorted so tids (and row order) are stable
+		// across identical captures regardless of event interleaving.
+		names := make([]string, 0, 8)
+		have := map[string]bool{}
+		for _, e := range flight.Events {
+			t := e.Track
+			if t == "" {
+				t = "events"
+			}
+			if !have[t] {
+				have[t] = true
+				names = append(names, t)
+			}
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			trackTid(t)
+		}
+	}
+
+	spanSeq := 0
+	var emitSpan func(s *SpanSnapshot)
+	emitSpan = func(s *SpanSnapshot) {
+		if s == nil {
+			return
+		}
+		spanSeq++
+		id := fmt.Sprintf("s%d", spanSeq)
+		start := usec(s.StartUnixNano)
+		if s.StartUnixNano == 0 {
+			start = 0
+		}
+		var args map[string]any
+		if len(s.Rollup) > 0 || s.Dropped > 0 || s.Running {
+			args = map[string]any{}
+			if s.Running {
+				args["running"] = true
+			}
+			if s.Dropped > 0 {
+				args["dropped_children"] = s.Dropped
+			}
+			for n, rc := range s.Rollup {
+				args["rollup."+n] = map[string]any{"count": rc.Count, "seconds": rc.Seconds}
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			traceEvent{Name: s.Name, Cat: "span", Ph: "b", Ts: start,
+				Pid: tracePid, Tid: spanTid, ID: id, Args: args},
+			traceEvent{Name: s.Name, Cat: "span", Ph: "e",
+				Ts: start + s.Seconds*1e6, Pid: tracePid, Tid: spanTid, ID: id})
+		for _, c := range s.Children {
+			emitSpan(c)
+		}
+	}
+	for _, s := range spans {
+		emitSpan(s)
+	}
+
+	if flight != nil {
+		for _, e := range flight.Events {
+			tid := trackTid(e.Track)
+			args := map[string]any{"seq": e.Seq, "kind": e.Kind}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			if e.DurNanos > 0 {
+				out.TraceEvents = append(out.TraceEvents, traceEvent{
+					Name: e.Name, Cat: e.Kind, Ph: "X",
+					Ts:  usec(e.UnixNano - e.DurNanos),
+					Dur: float64(e.DurNanos) / 1e3,
+					Pid: tracePid, Tid: tid, Args: args,
+				})
+			} else {
+				out.TraceEvents = append(out.TraceEvents, traceEvent{
+					Name: e.Name, Cat: e.Kind, Ph: "i", S: "t",
+					Ts: usec(e.UnixNano), Pid: tracePid, Tid: tid, Args: args,
+				})
+			}
+		}
+	}
+
+	return json.Marshal(out)
+}
+
+// LintTrace validates Chrome trace-event JSON structurally: the
+// top-level object holds a non-empty traceEvents array and every event
+// carries a phase, a name, and (for non-metadata phases) a
+// non-negative timestamp. Shared by cmd tools and the e2e suite.
+func LintTrace(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: not a JSON object: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents array")
+	}
+	for i, e := range f.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			return fmt.Errorf("trace: event %d has no ph", i)
+		}
+		if _, ok := e["name"].(string); !ok {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		if ph == "M" {
+			continue
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok && e["ts"] != nil {
+			return fmt.Errorf("trace: event %d ts is not numeric", i)
+		}
+		if ts < 0 {
+			return fmt.Errorf("trace: event %d ts %v negative", i, ts)
+		}
+	}
+	return nil
+}
+
+// TraceTrackNames extracts the thread row names a trace declares,
+// sorted - the assertion surface for the e2e suite ("one track per
+// worker" is checked by name).
+func TraceTrackNames(data []byte) ([]string, error) {
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/scc"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	// terminates if Deadline is also set - exactly like real hung
 	// hardware under a watchdog.
 	Fault *fault.Plan
+	// Recorder receives flight-recorder events (injected wedges/fails,
+	// dropped messages, watchdog ticks, the deadlock verdict) on track
+	// "rcce". Nil records nothing; the recorder is write-only, so arming
+	// it cannot change what the program computes.
+	Recorder *obs.Recorder
 }
 
 // Comm is one parallel program instance: the state shared by its UEs.
@@ -63,12 +69,14 @@ type Comm struct {
 	n       int
 	mapping scc.Mapping
 
-	// deadline/plan/watch are the robustness layer: per-op deadline,
-	// fault-injection plan and the watchdog converting wedges into
-	// DeadlockErrors (nil when unarmed).
+	// deadline/plan/watch/rec are the robustness layer: per-op deadline,
+	// fault-injection plan, the watchdog converting wedges into
+	// DeadlockErrors, and the flight recorder events land on (all nil
+	// when unarmed; rec is written once before the UEs launch).
 	deadline time.Duration
 	plan     *fault.Plan
 	watch    *watchdog
+	rec      *obs.Recorder
 
 	// domains is the mutable per-tile clock record behind SetTileMHz /
 	// TileMHz / Domains; domMu guards it (it previously borrowed
@@ -145,6 +153,7 @@ func RunWith(opts Options, n int, mapping scc.Mapping, domains scc.FreqDomains, 
 		mapping:  mapping,
 		deadline: opts.Deadline,
 		plan:     opts.Fault,
+		rec:      opts.Recorder,
 		domains:  domains,
 		chans:    make(map[pairKey]chan []byte),
 		msgSeq:   make(map[pairKey]int),
@@ -228,12 +237,19 @@ func (u *UE) preOp(op string, peer int) error {
 	seq := int(c.opSeq[u.rank].Add(1)) - 1
 	switch c.plan.OnRankOp(u.rank, seq) {
 	case fault.ActFail:
+		c.rec.Recordf(rcceTrack, "fault_fail", "injected fail",
+			"rank %d failed at %s op %d", u.rank, op, seq)
 		return fmt.Errorf("rcce: UE %d %s op %d: %w", u.rank, op, seq, fault.ErrInjected)
 	case fault.ActWedge:
+		c.rec.Recordf(rcceTrack, "fault_wedge", "injected wedge",
+			"rank %d wedged at %s op %d", u.rank, op, seq)
 		return c.park(u.rank, "wedged:"+op, peer)
 	}
 	return nil
 }
+
+// rcceTrack is the flight-recorder timeline row for runtime events.
+const rcceTrack = "rcce"
 
 // park blocks the rank as a wedged op. With a watchdog it returns the
 // DeadlockError once the deadline fires; without one it blocks forever.
@@ -330,6 +346,8 @@ func (u *UE) Send(data []byte, dst int) error {
 		// The message vanishes after the send "completes": the receiver
 		// stays blocked, which the watchdog converts into a structured
 		// DeadlockError naming it.
+		u.comm.rec.Recordf(rcceTrack, "fault_drop", "dropped message",
+			"message %d->%d seq %d dropped", u.rank, dst, seq)
 		u.comm.msgs.Add(1)
 		return nil
 	} else if delay > 0 {

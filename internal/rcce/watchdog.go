@@ -147,6 +147,7 @@ func (w *watchdog) run() {
 func (w *watchdog) scan() bool {
 	now := time.Now()
 	w.mu.Lock()
+	blocked := len(w.blocked)
 	overdue := false
 	for _, e := range w.blocked {
 		if now.Sub(e.since) >= w.deadline {
@@ -156,6 +157,10 @@ func (w *watchdog) scan() bool {
 	}
 	if !overdue {
 		w.mu.Unlock()
+		if blocked > 0 {
+			w.comm.rec.Recordf(rcceTrack, "watchdog_tick", "watchdog tick",
+				"%d op(s) blocked, none past the %v deadline", blocked, w.deadline)
+		}
 		return false
 	}
 	derr := &DeadlockError{Deadline: w.deadline}
@@ -168,6 +173,7 @@ func (w *watchdog) scan() bool {
 
 	// Wake every waiter: channel ops select on aborted, barrier waiters
 	// are poisoned and broadcast.
+	w.comm.rec.Record(rcceTrack, "deadlock", "watchdog fired", derr.Error())
 	close(w.aborted)
 	w.comm.poisonBarriers(derr)
 	return true

@@ -31,6 +31,10 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// jobTrack is the flight-recorder timeline row job lifecycle
+// transitions land on.
+const jobTrack = "serve.job"
+
 // Job is one submission's record. Every submission gets its own job -
 // cache hits included - so clients always have a pollable ID; in-flight
 // duplicates are the exception, they share the executing job's ID.
@@ -56,6 +60,11 @@ type Job struct {
 	// scope the counter baseline taken when execution started.
 	span  *obs.Span
 	scope *obs.CounterScope
+	// rec is the job's flight recorder: a bounded ring of structured
+	// events kept for post-mortems. Allocated at submission so queued
+	// state transitions are captured too; surfaced on the status payload
+	// only when the job fails or is cancelled.
+	rec *obs.Recorder
 	// done closes when the job reaches a terminal state (long-poll wait).
 	done chan struct{}
 }
@@ -79,17 +88,24 @@ type JobStatus struct {
 	// jobs; empty for queued ones).
 	Counters map[string]uint64 `json:"counters,omitempty"`
 	Spans    *obs.SpanSnapshot `json:"spans,omitempty"`
+	// Flight is the flight-recorder tail, attached only when the job
+	// failed or was cancelled: the last events before the wreck, ending
+	// at whatever wedged, errored or timed out.
+	Flight *obs.FlightSnapshot `json:"flight,omitempty"`
 }
 
-func newJob(id string, cfg JobConfig) *Job {
-	return &Job{
+func newJob(id string, cfg JobConfig, flightEvents int) *Job {
+	j := &Job{
 		ID:      id,
 		Hash:    cfg.Hash(),
 		Config:  cfg,
 		state:   StateQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		rec:     obs.NewRecorder(flightEvents),
 	}
+	j.rec.Record(jobTrack, "state", string(StateQueued), "job "+id+" accepted")
+	return j
 }
 
 // finish moves the job to a terminal state exactly once.
@@ -103,6 +119,7 @@ func (j *Job) finish(state JobState, errMsg string) {
 	j.err = errMsg
 	j.finished = time.Now()
 	j.span.End()
+	j.rec.Record(jobTrack, "state", string(state), errMsg)
 	j.mu.Unlock()
 	close(j.done)
 }
@@ -134,6 +151,19 @@ func (j *Job) requestCancel() bool {
 	return true
 }
 
+// traceFeed snapshots the job's span tree (nil if the job never
+// started) and flight tail for the trace exporter.
+func (j *Job) traceFeed() (*obs.SpanSnapshot, *obs.FlightSnapshot) {
+	j.mu.Lock()
+	span, rec := j.span, j.rec
+	j.mu.Unlock()
+	var ss *obs.SpanSnapshot
+	if span != nil {
+		ss = span.Snapshot()
+	}
+	return ss, rec.Snapshot()
+}
+
 // status snapshots the job for the wire, resolving the result (for done
 // jobs) through the store.
 func (j *Job) status(store *ResultStore) JobStatus {
@@ -149,20 +179,28 @@ func (j *Job) status(store *ResultStore) JobStatus {
 	}
 	switch {
 	case j.state.Terminal() && !j.started.IsZero():
-		st.ElapsedSec = j.finished.Sub(j.started).Seconds()
+		// Clamped: finished/started are wall stamps, and a stepped wall
+		// clock must not surface as a negative elapsed time on the wire.
+		st.ElapsedSec = obs.ClampDuration(j.finished.Sub(j.started)).Seconds()
 	case j.state == StateRunning:
-		st.ElapsedSec = time.Since(j.started).Seconds()
+		st.ElapsedSec = obs.Since(j.started).Seconds()
 	}
-	span, scope := j.span, j.scope
+	span, scope, rec := j.span, j.scope, j.rec
+	wrecked := j.state == StateFailed || j.state == StateCancelled
 	j.mu.Unlock()
 
 	// The obs feed and the store lookup run outside the job lock: the
-	// span snapshot and counter deltas take their own locks.
+	// span snapshot, counter deltas and flight tail take their own locks.
 	if scope != nil {
 		st.Counters = scope.Deltas()
 	}
 	if span != nil {
 		st.Spans = span.Snapshot()
+	}
+	if wrecked {
+		// Post-mortem only: successful jobs drop their recorder tail, the
+		// status payload of a failed or cancelled one carries it.
+		st.Flight = rec.Snapshot()
 	}
 	if st.State == StateDone {
 		if res, ok := store.peek(st.Hash); ok {

@@ -30,6 +30,11 @@ var (
 	jobsRejected  = obs.Default.Counter("serve.jobs.rejected")
 	jobsRunning   = obs.Default.Gauge("serve.jobs.running")
 	jobsQueued    = obs.Default.Gauge("serve.jobs.queued")
+	// Latency histograms: how long jobs sat in the queue and how long
+	// they executed (mergeable log buckets; exported with quantiles on
+	// the JSON snapshot and as a cumulative ladder on /metrics).
+	jobsQueueWait = obs.Default.Histogram("serve.jobs.queue_wait_seconds")
+	jobsExecTime  = obs.Default.Histogram("serve.jobs.exec_seconds")
 	// workerPool instruments the bounded job executors: serve.worker.tasks
 	// counts worker lifetimes, not jobs - per-job metrics live above.
 	workerPool = obs.Default.Pool("serve.worker")
@@ -63,6 +68,9 @@ type ServerConfig struct {
 	// Fault arms a deterministic fault-injection plan on every job's
 	// engine (chaos tests; nil injects nothing).
 	Fault *fault.Plan
+	// FlightEvents bounds each job's flight-recorder ring - the last N
+	// structured events retained for post-mortems (0 = 1024).
+	FlightEvents int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -83,6 +91,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 1024
 	}
 	return c
 }
@@ -184,7 +195,7 @@ func (s *Server) Submit(cfg JobConfig) (SubmitOutcome, error) {
 func (s *Server) newJobLocked(cfg JobConfig) *Job {
 	s.nextID++
 	id := fmt.Sprintf("job-%06d", s.nextID)
-	j := newJob(id, cfg)
+	j := newJob(id, cfg, s.cfg.FlightEvents)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.pruneLocked()
@@ -274,10 +285,22 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 	j.span = obs.Default.StartDetachedSpan("job:" + j.ID)
 	j.scope = obs.Default.ScopeCounters()
 	span := j.span
+	wait := obs.ClampDuration(j.started.Sub(j.created))
 	j.mu.Unlock()
 	defer cancel()
+	jobsQueueWait.ObserveDuration(wait)
+	j.rec.Recordf(jobTrack, "state", string(StateRunning),
+		"picked up after %v queued", wait.Round(time.Microsecond))
 	jobsRunning.Add(1)
 	defer jobsRunning.Add(-1)
+
+	// Arm the job's flight recorder on the execution context (pool
+	// workers, the rcce bridge and the harness read it back out) and on
+	// the shared matrix cache (best-effort attribution; CAS-cleared so a
+	// finishing job cannot strip a successor's recorder).
+	jctx = obs.WithRecorder(jctx, j.rec)
+	s.matrices.SetRecorder(j.rec)
+	defer s.matrices.ClearRecorder(j.rec)
 
 	cfg := experiments.Config{
 		Scale:       j.Config.Scale,
@@ -324,6 +347,14 @@ func (s *Server) finishJob(j *Job, state JobState, errMsg string) {
 	}
 	s.mu.Unlock()
 	j.finish(state, errMsg)
+	j.mu.Lock()
+	started, finished := j.started, j.finished
+	j.mu.Unlock()
+	if !started.IsZero() {
+		// Observe already clamps negatives, so a stepped wall clock
+		// cannot push a negative execution time into the histogram.
+		jobsExecTime.ObserveDuration(finished.Sub(started))
+	}
 	switch state {
 	case StateDone:
 		jobsCompleted.Add(1)
@@ -400,10 +431,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 //	GET    /api/v1/jobs/{id}/wait      long-poll until terminal (?timeout=30s)
 //	GET    /api/v1/jobs/{id}/progress  NDJSON status stream until terminal
 //	GET    /api/v1/jobs/{id}/result    fetch rendered tables (?format=text|csv)
+//	GET    /api/v1/jobs/{id}/trace     Chrome trace-event JSON (Perfetto)
 //	DELETE /api/v1/jobs/{id}           cancel a queued/running job
 //	GET    /api/v1/results/{hash}      content-addressed result fetch
 //	GET    /api/v1/experiments         list runnable experiments
 //	GET    /api/v1/metrics             obs registry snapshot (JSON)
+//	GET    /metrics                    Prometheus text exposition
+//	GET    /debug/flight               flight recorders of wrecked jobs
 //	GET    /healthz                    liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -413,10 +447,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/wait", s.handleWait)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/results/{hash}", s.handleResultByHash)
 	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -623,4 +660,73 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(blob)
+}
+
+// handlePrometheus serves the registry in Prometheus text exposition
+// format (0.0.4) - the scrape face of the same snapshot /api/v1/metrics
+// serves as JSON.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	blob, err := obs.Default.PrometheusText()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "prometheus exposition: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(blob)
+}
+
+// handleTrace serves the job's Chrome trace-event JSON: the span tree
+// as async slices plus the flight recorder's tracks (pool workers,
+// cache, rcce, lifecycle). Load it at ui.perfetto.dev or
+// chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	span, flight := j.traceFeed()
+	var spans []*obs.SpanSnapshot
+	if span != nil {
+		spans = append(spans, span)
+	}
+	blob, err := obs.TraceJSON(spans, flight)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "trace export: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+"-trace.json"))
+	w.Write(blob)
+}
+
+// handleFlight dumps the flight recorders of every wrecked (failed or
+// cancelled) retained job, newest last - the daemon-wide post-mortem
+// view. Done jobs drop their tails; queued/running ones are still
+// flying.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	type wreck struct {
+		ID     string              `json:"id"`
+		State  JobState            `json:"state"`
+		Error  string              `json:"error,omitempty"`
+		Flight *obs.FlightSnapshot `json:"flight"`
+	}
+	out := []wreck{}
+	for _, id := range ids {
+		j, ok := s.Job(id)
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		state, errMsg := j.state, j.err
+		j.mu.Unlock()
+		if state != StateFailed && state != StateCancelled {
+			continue
+		}
+		out = append(out, wreck{ID: j.ID, State: state, Error: errMsg, Flight: j.rec.Snapshot()})
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// getBody fetches a URL raw, failing the test on transport errors or a
+// non-200 status, and returns body plus Content-Type.
+func getBody(t *testing.T, url string) ([]byte, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body, resp.Header.Get("Content-Type")
+}
+
+// TestServeMetricsPrometheus: /metrics must serve a lint-clean
+// Prometheus text exposition with the job-latency histogram ladders in
+// it after a job ran.
+func TestServeMetricsPrometheus(t *testing.T) {
+	_, base := startDaemon(t, ServerConfig{Workers: 1})
+	st, _, _ := postJob(t, base, tinyJob())
+	if done := waitTerminal(t, base, st.ID); done.State != StateDone {
+		t.Fatalf("job ended %s (%s)", done.State, done.Error)
+	}
+
+	body, ctype := getBody(t, base+"/metrics")
+	if ctype != obs.PromContentType {
+		t.Errorf("content type %q, want %q", ctype, obs.PromContentType)
+	}
+	if err := obs.LintPrometheus(body, nil); err != nil {
+		t.Fatalf("/metrics failed the prometheus lint: %v", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"serve_jobs_exec_seconds_bucket{le=",
+		"serve_jobs_queue_wait_seconds_bucket{le=",
+		"serve_jobs_completed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics misses %q", want)
+		}
+	}
+}
+
+// TestServeTraceEndpoint: a done job's /trace must be lint-clean Chrome
+// trace-event JSON whose tracks include the job lifecycle row and at
+// least one pool worker row.
+func TestServeTraceEndpoint(t *testing.T) {
+	_, base := startDaemon(t, ServerConfig{Workers: 1})
+	st, _, _ := postJob(t, base, tinyJob())
+	if done := waitTerminal(t, base, st.ID); done.State != StateDone {
+		t.Fatalf("job ended %s (%s)", done.State, done.Error)
+	}
+
+	body, ctype := getBody(t, base+"/api/v1/jobs/"+st.ID+"/trace")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("content type %q, want application/json", ctype)
+	}
+	if err := obs.LintTrace(body); err != nil {
+		t.Fatalf("trace failed the lint: %v", err)
+	}
+	tracks, err := obs.TraceTrackNames(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lifecycle, worker bool
+	for _, tr := range tracks {
+		if tr == "serve.job" {
+			lifecycle = true
+		}
+		if strings.Contains(tr, "/w") {
+			worker = true
+		}
+	}
+	if !lifecycle {
+		t.Errorf("trace misses the serve.job lifecycle track (tracks: %v)", tracks)
+	}
+	if !worker {
+		t.Errorf("trace misses every pool worker track (tracks: %v)", tracks)
+	}
+}
+
+// TestServeDoneJobShipsNoFlight: a successful job's status payload must
+// not carry a flight tail - recorders are post-mortem only.
+func TestServeDoneJobShipsNoFlight(t *testing.T) {
+	_, base := startDaemon(t, ServerConfig{Workers: 1})
+	st, _, _ := postJob(t, base, tinyJob())
+	done := waitTerminal(t, base, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("job ended %s (%s)", done.State, done.Error)
+	}
+	if done.Flight != nil {
+		t.Errorf("done job shipped a flight tail with %d events", len(done.Flight.Events))
+	}
+}
+
+// TestChaosServeWedgedJobCarriesFlightTail is the flight recorder's
+// acceptance scenario: a WedgeCell fault makes the first cell run a
+// communication program whose peer rank hangs, the watchdog converts
+// the hang into a DeadlockError, and the failed job's status payload
+// must arrive with a non-empty flight tail that names the wedged rank
+// and ends at the terminal transition.
+func TestChaosServeWedgedJobCarriesFlightTail(t *testing.T) {
+	_, base := startDaemon(t, ServerConfig{
+		Workers: 1,
+		Fault:   &fault.Plan{WedgeCell: &fault.Cell{Index: 0}},
+	})
+	st, _, _ := postJob(t, base, JobConfig{
+		Experiment: "fig3", Scale: 0.05, Stride: 16, MaxMatrices: 1, FailFast: true,
+	})
+	done := waitTerminal(t, base, st.ID)
+	if done.State != StateFailed {
+		t.Fatalf("wedged job ended %s (%s), want failed", done.State, done.Error)
+	}
+	if !strings.Contains(done.Error, "deadlock") {
+		t.Errorf("wedged job's error is not a deadlock: %q", done.Error)
+	}
+	if done.Flight == nil || len(done.Flight.Events) == 0 {
+		t.Fatal("wedged job carries no flight-recorder tail")
+	}
+	events := done.Flight.Events
+	if last := events[len(events)-1]; last.Kind != "state" || last.Name != string(StateFailed) {
+		t.Errorf("flight tail ends at %s/%s, want the failed state transition", last.Kind, last.Name)
+	}
+	var verdict, wedged bool
+	for _, e := range events {
+		if e.Kind == "deadlock" && strings.Contains(e.Detail, "rank") {
+			verdict = true
+		}
+		if e.Kind == "fault_wedge" {
+			wedged = true
+		}
+	}
+	if !verdict {
+		t.Error("flight tail has no watchdog deadlock verdict naming the wedged rank")
+	}
+	if !wedged {
+		t.Error("flight tail has no fault_wedge event for the wedged cell")
+	}
+	// Seq must be strictly increasing: the tail is a coherent timeline.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("flight events out of order: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+
+	// The daemon-wide post-mortem view lists the wreck too.
+	body, _ := getBody(t, base+"/debug/flight")
+	var wrecks []struct {
+		ID     string              `json:"id"`
+		State  JobState            `json:"state"`
+		Flight *obs.FlightSnapshot `json:"flight"`
+	}
+	if err := json.Unmarshal(body, &wrecks); err != nil {
+		t.Fatalf("decoding /debug/flight: %v", err)
+	}
+	var listed bool
+	for _, w := range wrecks {
+		if w.ID == st.ID {
+			listed = true
+			if w.Flight == nil || len(w.Flight.Events) == 0 {
+				t.Error("/debug/flight lists the wreck without its events")
+			}
+		}
+	}
+	if !listed {
+		t.Errorf("/debug/flight does not list wedged job %s", st.ID)
+	}
+
+	// The wedged job's trace must still export and lint: the flight
+	// tracks (rcce, lifecycle) become timeline rows.
+	trace, _ := getBody(t, base+"/api/v1/jobs/"+st.ID+"/trace")
+	if err := obs.LintTrace(trace); err != nil {
+		t.Fatalf("wedged job's trace failed the lint: %v", err)
+	}
+	tracks, err := obs.TraceTrackNames(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rcceTrack bool
+	for _, tr := range tracks {
+		if tr == "rcce" {
+			rcceTrack = true
+		}
+	}
+	if !rcceTrack {
+		t.Errorf("wedged job's trace misses the rcce track (tracks: %v)", tracks)
+	}
+}

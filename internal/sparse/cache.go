@@ -3,6 +3,7 @@ package sparse
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -78,6 +79,41 @@ type MatrixCache struct {
 	// concurrent duplicate misses deterministically); nil uses
 	// TestbedEntry.GenerateScaled.
 	gen func(TestbedEntry, float64) *CSR
+
+	// rec is the flight recorder of the job currently attributed with
+	// this cache's traffic (see SetRecorder). Kept outside the mutex so
+	// arming/clearing never contends with Get.
+	rec atomic.Pointer[obs.Recorder]
+}
+
+// flightTrack is the timeline row cache events land on.
+const flightTrack = "sparse.matrix_cache"
+
+// SetRecorder attributes subsequent hit/miss/eviction events to rec's
+// flight recorder. A daemon shares one cache across jobs, so like
+// CounterScope deltas the attribution is exact when one job runs at a
+// time and best-effort (events may belong to a concurrent job) when
+// scopes overlap - acceptable for a post-mortem timeline, and the
+// recorder is write-only so it can never change what the cache returns.
+func (c *MatrixCache) SetRecorder(rec *obs.Recorder) {
+	if c != nil {
+		c.rec.Store(rec)
+	}
+}
+
+// ClearRecorder detaches rec if (and only if) it is still the attached
+// recorder, so a finishing job cannot clear a successor's attribution.
+func (c *MatrixCache) ClearRecorder(rec *obs.Recorder) {
+	if c != nil {
+		c.rec.CompareAndSwap(rec, nil)
+	}
+}
+
+func (c *MatrixCache) recorder() *obs.Recorder {
+	if c == nil {
+		return nil
+	}
+	return c.rec.Load()
 }
 
 type matrixKey struct {
@@ -193,11 +229,13 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 		m := el.Value.(*cacheEntry).m
 		c.mu.Unlock()
 		cacheHits.Add(1)
+		c.recorder().Record(flightTrack, "cache_hit", e.Name, "")
 		return m
 	}
 	c.misses++
 	c.mu.Unlock()
 	cacheMisses.Add(1)
+	c.recorder().Record(flightTrack, "cache_miss", e.Name, "")
 
 	// Generate outside the lock so concurrent misses on different keys
 	// do not serialise on the expensive part.
@@ -234,6 +272,10 @@ func (c *MatrixCache) Get(e TestbedEntry, scale float64) *CSR {
 	profEvictions.Add(evictedBlobs)
 	cacheUsedGauge.Set(used)
 	cacheResidGauge.Set(int64(resident))
+	if evicted+evictedBlobs > 0 {
+		c.recorder().Recordf(flightTrack, "cache_evict", "evict",
+			"inserting %s evicted %d matrices, %d blobs", e.Name, evicted, evictedBlobs)
+	}
 	return m
 }
 
@@ -325,6 +367,10 @@ func (c *MatrixCache) PutBlob(key string, v any, size int64) {
 	cacheResidGauge.Set(int64(matResident))
 	profUsedGauge.Set(profUsed)
 	profResidGauge.Set(int64(profResident))
+	if evicted+evictedBlobs > 0 {
+		c.recorder().Recordf(flightTrack, "cache_evict", "evict",
+			"storing blob evicted %d matrices, %d blobs", evicted, evictedBlobs)
+	}
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
