@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race chaos bench bench-smoke perf metrics-smoke serve-smoke trace-smoke sccvet sccvet-json fmt-check ci clean
+.PHONY: all build check test race chaos bench bench-smoke des-smoke perf metrics-smoke serve-smoke trace-smoke sccvet sccvet-json fmt-check ci clean
 
 all: build
 
@@ -62,10 +62,12 @@ chaos:
 # ci is the full pre-merge pipeline: the check gate, the recorded sccvet
 # findings report, the race detector over the host-concurrent packages,
 # the chaos suite, the bench smoke (which exercises all three engine legs
-# end to end), the daemon smoke (which exercises the job API and
-# result cache over real HTTP), and the telemetry smoke (Prometheus
-# exposition, trace export and the flight recorder's post-mortem path).
-ci: check sccvet-json race chaos bench-smoke serve-smoke trace-smoke
+# end to end), the DES smoke (which proves the goroutine and virtual-time
+# RCCE backends render bit-identical tables), the daemon smoke (which
+# exercises the job API and result cache over real HTTP), and the
+# telemetry smoke (Prometheus exposition, trace export and the flight
+# recorder's post-mortem path).
+ci: check sccvet-json race chaos bench-smoke des-smoke serve-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -76,6 +78,19 @@ bench:
 # fast path end to end without taking real-bench time.
 bench-smoke:
 	$(GO) run ./cmd/sccsim -exp bench -benchexp ablation-l2geom -scale 0.05 -stride 16 -outdir /tmp
+
+# des-smoke runs the executable rcce-scaling sweep once per RCCE backend
+# (the goroutine oracle and the virtual-time discrete-event scheduler) on
+# a tiny matrix and diffs the rendered tables byte for byte. Any engine
+# divergence - a reordered message, a dropped counter, a nondeterministic
+# checksum - fails the diff.
+des-smoke:
+	@rm -rf /tmp/des-smoke && mkdir -p /tmp/des-smoke/goroutine /tmp/des-smoke/des
+	$(GO) run ./cmd/sccsim -exp rcce-scaling -scale 0.05 -max 1 -engine goroutine -outdir /tmp/des-smoke/goroutine > /dev/null
+	$(GO) run ./cmd/sccsim -exp rcce-scaling -scale 0.05 -max 1 -engine des -outdir /tmp/des-smoke/des > /dev/null
+	cmp /tmp/des-smoke/goroutine/rcce-scaling.txt /tmp/des-smoke/des/rcce-scaling.txt
+	cmp /tmp/des-smoke/goroutine/rcce-scaling.csv /tmp/des-smoke/des/rcce-scaling.csv
+	@echo "des-smoke: goroutine and des tables are bit-identical"
 
 # perf times the serial vs parallel engine on a full fig9 sweep and writes
 # the BENCH_fig9.json record.

@@ -7,6 +7,8 @@
 //	sccsim -exp fig5 [-scale 0.25] [-stride 1] [-max 0] [-csv]
 //	sccsim -exp all  [-scale 0.25]
 //	sccsim -exp bench [-benchexp fig6,fig8,ablation-l2geom] [-json]
+//	sccsim -exp rcce-scaling [-engine goroutine|des] [-mesh 32x32x1]
+//	sccsim -exp bench-des [-mesh 16x16x2] [-json]
 //
 // -scale 1.0 reproduces the paper's matrix sizes (slow: the full testbed
 // holds ~95M nonzeros); the default quarter scale preserves every
@@ -21,6 +23,13 @@
 // and writes a machine-readable BENCH_<exp>.json perf record per id.
 // -cpuprofile/-memprofile capture pprof profiles of whatever the
 // invocation runs.
+//
+// Executable-runtime experiments (rcce-scaling) run the real RCCE
+// message-passing program: -engine selects the goroutine backend or the
+// single-threaded virtual-time DES scheduler (bit-identical tables either
+// way), and -mesh lifts the 48-core cap to arbitrary XxYxC geometries.
+// -exp bench-des times the sweep on both engines under injected message
+// latency and writes BENCH_des.json (the virtual-time speedup record).
 //
 // Robustness: SIGINT/SIGTERM and the -deadline flag cancel the run's
 // context, which stops the engine at its next matrix/cell/pass boundary;
@@ -56,6 +65,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/rcce"
+	"repro/internal/scc"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/stats"
@@ -83,6 +94,8 @@ func run() int {
 		deadline   = flag.Duration("deadline", 0, "cancel the whole run after this duration (0 = none)")
 		failFast   = flag.Bool("failfast", false, "abort a sweep at the first failing cell instead of isolating it into an error row")
 		pricing    = flag.String("pricing", "auto", "cache-pricing backend: exact (per-access walk), analytic (reuse-distance fast path), auto (analytic only where provably identical)")
+		engine     = flag.String("engine", "goroutine", "RCCE backend for executable-runtime experiments: goroutine (the semantic oracle) or des (single-threaded virtual-time scheduler); tables are bit-identical either way")
+		mesh       = flag.String("mesh", "", "chip geometry for executable-runtime experiments as XxYxC tiles (e.g. 32x32x1 = 1024 cores); empty = the real 6x4x2 SCC")
 		benchExp   = flag.String("benchexp", "fig9", "comma-separated experiment ids the bench harness times (with -exp bench), e.g. fig6,fig8,ablation-l2geom")
 		jsonOut    = flag.Bool("json", false, "with -exp bench: also print the perf record as JSON on stdout")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -210,6 +223,16 @@ func run() int {
 		errf("%v", err)
 		return code
 	}
+	backend, err := rcce.ParseBackend(*engine)
+	if err != nil {
+		errf("%v", err)
+		return code
+	}
+	geom, err := scc.ParseGeometry(*mesh)
+	if err != nil {
+		errf("%v", err)
+		return code
+	}
 	cache := sparse.NewMatrixCache(*cacheMB << 20)
 	if flight != nil {
 		cache.SetRecorder(flight)
@@ -224,8 +247,16 @@ func run() int {
 		Ctx:         ctx,
 		FailFast:    *failFast,
 		Pricing:     pricingMode,
+		Engine:      backend,
+		Mesh:        geom,
 	}
 
+	if *expID == "bench-des" {
+		if err := runBenchDES(cfg, *outDir, *jsonOut); err != nil {
+			errf("bench-des: %v", err)
+		}
+		return code
+	}
 	if *expID == "bench" {
 		for _, id := range strings.Split(*benchExp, ",") {
 			id = strings.TrimSpace(id)
@@ -399,6 +430,40 @@ func runBench(cfg experiments.Config, id, outDir string, jsonOut bool) error {
 		return err
 	}
 	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf record written to %s\n", path)
+	return nil
+}
+
+// runBenchDES times the rcce-scaling sweep on the goroutine vs DES engine
+// under injected per-message latency and persists BENCH_des.json (in
+// outDir when given, else the working directory).
+func runBenchDES(cfg experiments.Config, outDir string, jsonOut bool) error {
+	rec, err := experiments.BenchDES(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== bench-des %s (mesh %s, %v injected per gather message, GOMAXPROCS %d)\n",
+		rec.Experiment, rec.Mesh, time.Duration(rec.InjectedDelaySec*float64(time.Second)), rec.GoMaxProcs)
+	fmt.Printf("goroutine engine: %8.2fs  (pays the injected latency in wall clock)\n", rec.GoroutineSec)
+	fmt.Printf("DES engine:       %8.2fs  (speedup %.2fx: virtual time is free; output identical: %t)\n",
+		rec.DESSec, rec.Speedup, rec.OutputIdentical)
+	blob, err := rec.JSON()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		os.Stdout.Write(blob)
+	}
+	dir := outDir
+	if dir == "" {
+		dir = "."
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_des.json")
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		return err
 	}

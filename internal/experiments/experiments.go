@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/rcce"
+	"repro/internal/scc"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/stats"
@@ -111,6 +113,17 @@ type Config struct {
 	// semantics; Experiment.Execute attaches a log and renders it as an
 	// error table after the run.
 	Errors *ErrorLog
+	// Engine selects the RCCE backend the executable-runtime experiments
+	// run on (goroutine - the default and semantic oracle - or the
+	// virtual-time DES scheduler). Purely an engine knob: both backends
+	// render bit-identical tables, which the cross-engine determinism
+	// tests prove. Simulated (analytic) sweeps ignore it.
+	Engine rcce.Backend
+	// Mesh sets the simulated chip geometry for executable-runtime
+	// experiments (zero value = the real 6x4x2 SCC). Custom meshes lift
+	// the 48-UE cap, e.g. 16x16x1 for a 256-core scaling sweep. A result
+	// knob: different meshes render different tables.
+	Mesh scc.Geometry
 }
 
 // context resolves the Ctx knob (nil means Background).
@@ -158,6 +171,9 @@ func (c Config) validate() error {
 	}
 	if c.Sequential && c.Pricing == sim.PricingAnalytic {
 		return fmt.Errorf("experiments: Sequential with analytic pricing: the sequential engine is the exact reference; drop one of the two")
+	}
+	if err := c.Mesh.OrDefault().Validate(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }

@@ -49,7 +49,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-cacheblock", "ablation-formats", "ablation-l2geom", "ablation-partition", "ablation-prefetch",
 		"ablation-reorder", "ablation-warmup", "analysis-distributed", "analysis-locality", "analysis-powercap", "analysis-scaling",
 		"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"latency", "table1",
+		"latency", "rcce-scaling", "table1",
 	}
 	all := All()
 	if len(all) != len(want) {

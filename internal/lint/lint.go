@@ -94,6 +94,12 @@ type Config struct {
 	// names the lock-across-blocking analyzer treats as blocking
 	// operations (in addition to channel ops and default-less selects).
 	BlockingFuncs map[string][]string
+	// SleepBanPackages are the packages where lock-across-blocking flags
+	// every direct time.Sleep call, lock held or not. In the RCCE layer a
+	// bare sleep is a stall the watchdog cannot observe and an abort
+	// cannot interrupt; waits there must be registered as blocked ops and
+	// select on the abort channel (or run on the DES virtual clock).
+	SleepBanPackages []string
 	// Run restricts the suite to the named analyzers; empty means all.
 	Run []string
 }
@@ -142,6 +148,9 @@ func DefaultConfig() Config {
 				"Scatter", "Wait", "WaitAll", "Run", "RunWith",
 			},
 			"repro/internal/obs": {"ForEach", "ForEachCtx"},
+		},
+		SleepBanPackages: []string{
+			"repro/internal/rcce",
 		},
 	}
 }

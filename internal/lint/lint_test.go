@@ -210,6 +210,7 @@ func TestLockAcrossBlockingCorpus(t *testing.T) {
 		BlockingFuncs: map[string][]string{
 			"corpus/lockblock/fakepool": {"Drain"},
 		},
+		SleepBanPackages: []string{"corpus/lockblock"},
 	})
 }
 

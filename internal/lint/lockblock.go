@@ -25,9 +25,18 @@ import (
 // pool dispatchers), and calls to same-package functions that
 // transitively perform any of those (flow.go call graph). Goroutine and
 // function-literal bodies run on their own stacks and are skipped.
+//
+// In Config.SleepBanPackages the analyzer additionally flags every direct
+// time.Sleep call, lock held or not. Those are the watchdog-supervised
+// packages (the RCCE op paths): a bare sleep there is a stall the
+// watchdog cannot see as a blocked op and the abort path cannot
+// interrupt - a UE sleeping through an injected hour of latency keeps an
+// aborted program alive for that hour. Waits must instead be registered
+// with the engine (delay/park) and select on the abort channel, or run
+// on the DES virtual clock.
 var analyzerLockBlock = &Analyzer{
 	Name: "lock-across-blocking",
-	Doc:  "flags sync.Mutex/RWMutex locks held across channel operations, RCCE calls, or pool dispatch",
+	Doc:  "flags sync.Mutex/RWMutex locks held across channel operations, RCCE calls, or pool dispatch; bans bare time.Sleep in watchdog-supervised packages",
 	Run:  runLockBlock,
 }
 
@@ -42,6 +51,33 @@ func runLockBlock(p *Pass) {
 			s.stmts(fd.Body.List, lockState{})
 		}
 	}
+	if contains(p.Conf.SleepBanPackages, p.Path) {
+		reportBareSleeps(p)
+	}
+}
+
+// reportBareSleeps flags every direct time.Sleep call in the package,
+// including calls inside goroutine and function-literal bodies: the stall
+// is invisible to the watchdog no matter which stack sleeps.
+func reportBareSleeps(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isTimeSleep(p.Info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"bare time.Sleep in a watchdog-supervised package: the stall is not registered as a blocked op, so the watchdog cannot observe it and an abort cannot interrupt it; route the wait through the engine (delay/park, selecting on the abort channel), or annotate //sccvet:allow lock-across-blocking <reason>")
+			return true
+		})
+	}
+}
+
+// isTimeSleep reports whether the call is time.Sleep from the stdlib.
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeOf(info, call)
+	return callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "time" && callee.Name() == "Sleep"
 }
 
 // lockState maps a lock's display key (the receiver expression, e.g.

@@ -6,6 +6,7 @@ package lockblock
 
 import (
 	"sync"
+	"time"
 
 	"corpus/lockblock/fakepool"
 )
@@ -101,4 +102,34 @@ func (s *S) Excused(v int) {
 	s.mu.Lock()
 	s.ch <- v //sccvet:allow lock-across-blocking corpus fixture for a justified handoff
 	s.mu.Unlock()
+}
+
+// Sleep-ban cases: with corpus/lockblock in Config.SleepBanPackages,
+// every direct time.Sleep is a finding - lock held or not, goroutine
+// body or not - because the stall is invisible to the watchdog.
+
+func (s *S) BareSleep() {
+	time.Sleep(time.Millisecond) // want `bare time\.Sleep in a watchdog-supervised package`
+}
+
+func (s *S) SleepInGoroutine() {
+	go func() {
+		time.Sleep(time.Millisecond) // want `bare time\.Sleep in a watchdog-supervised package`
+	}()
+}
+
+func (s *S) SleepExcused() {
+	time.Sleep(time.Millisecond) //sccvet:allow lock-across-blocking corpus fixture for a justified uninterruptible wait
+}
+
+// TimerWaitIsFine shows the sanctioned shape: an interruptible wait on a
+// timer channel is a plain blocking op, not a banned sleep (the receive
+// under a lock would still be a finding, but here no lock is held).
+func (s *S) TimerWaitIsFine(abort chan struct{}) {
+	t := time.NewTimer(time.Millisecond)
+	select {
+	case <-t.C:
+	case <-abort:
+		t.Stop()
+	}
 }

@@ -4,86 +4,16 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
 )
 
-// barrier is a reusable counting barrier. A poisoned barrier (deadline
-// watchdog fired) stops admitting waiters and wakes the blocked ones with
-// the poison error; a phase that completed normally before the poison
-// landed still reports success to its participants.
-type barrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	count  int
-	phase  uint64
-	poison error
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// wait blocks until all n participants arrive, or returns the poison error
-// if the barrier is aborted first. The last arrival runs onRelease (may be
-// nil) before waking the others, so side effects ordered by the barrier are
-// visible to every participant on exit.
-func (b *barrier) wait(onRelease func()) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.poison != nil {
-		return b.poison
-	}
-	phase := b.phase
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.phase++
-		if onRelease != nil {
-			onRelease()
-		}
-		b.cond.Broadcast()
-		return nil
-	}
-	for b.phase == phase && b.poison == nil {
-		b.cond.Wait()
-	}
-	if b.phase == phase {
-		return b.poison
-	}
-	return nil
-}
-
-// poisonWith aborts the barrier: current and future waiters get err. The
-// first poison wins.
-func (b *barrier) poisonWith(err error) {
-	b.mu.Lock()
-	if b.poison == nil {
-		b.poison = err
-	}
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}
-
-// waitWatched is wait with the deadline watchdog (when armed) observing the
-// blocked participant.
-func (u *UE) waitWatched(b *barrier, op string, onRelease func()) error {
-	if w := u.comm.watch; w != nil {
-		w.enter(u.rank, op, -1)
-		defer w.leave(u.rank)
-	}
-	return b.wait(onRelease)
-}
-
 // barrierOn is the full-treatment barrier entry: fault-plan op accounting
-// plus watchdog observation.
-func (u *UE) barrierOn(b *barrier, op string, onRelease func()) error {
+// plus the engine's blocking/abort machinery (watchdog observation on the
+// goroutine backend, virtual-time deadline checks on DES).
+func (u *UE) barrierOn(b commBarrier, op string, onRelease func()) error {
 	if err := u.preOp(op, -1); err != nil {
 		return err
 	}
-	return u.waitWatched(b, op, onRelease)
+	return b.wait(u, op, onRelease)
 }
 
 // Barrier blocks until every UE in the program has entered it, mirroring

@@ -8,18 +8,25 @@ import (
 // Non-blocking point-to-point operations in the style of iRCCE, the
 // asynchronous extension library Intel shipped alongside RCCE. An Isend or
 // Irecv returns a *Request immediately; the transfer progresses on a helper
-// goroutine (standing in for iRCCE's progress engine) and Wait/Test
-// complete it. Mixing blocking and non-blocking operations on the same
-// (source, destination) pair is ordered: both go through the pair's
-// rendezvous channel.
+// task (standing in for iRCCE's progress engine) and Wait/Test complete it.
+// Mixing blocking and non-blocking operations on the same (source,
+// destination) pair is ordered: both go through the pair's rendezvous.
 
 // Request tracks an in-flight non-blocking operation.
 type Request struct {
+	// kind is "isend" or "irecv" (for error messages).
+	kind string
+
+	// done/once/err complete goroutine-backend requests (and requests
+	// that fail validation before reaching any engine).
 	done chan struct{}
 	once sync.Once
 	err  error
-	// kind is "isend" or "irecv" (for error messages).
-	kind string
+
+	// eng/task complete DES-backend requests: the transfer runs as an
+	// auxiliary scheduler task and Wait joins it.
+	eng  *desEngine
+	task *desTask
 }
 
 func newRequest(kind string) *Request {
@@ -35,13 +42,21 @@ func (r *Request) finish(err error) {
 
 // Wait blocks until the operation completes and returns its error.
 func (r *Request) Wait() error {
+	if r.task != nil {
+		return r.eng.reqWait(r)
+	}
 	<-r.done
 	return r.err
 }
 
 // Test reports whether the operation has completed, without blocking.
-// The error is only meaningful when done is true.
+// The error is only meaningful when done is true. Under the DES backend
+// a transfer only progresses while the issuing UE is blocked, so poll
+// loops must interleave a blocking op (or just Wait).
 func (r *Request) Test() (done bool, err error) {
+	if r.task != nil {
+		return r.eng.reqTest(r)
+	}
 	select {
 	case <-r.done:
 		return true, r.err
@@ -66,13 +81,7 @@ func (u *UE) Isend(data []byte, dst int) *Request {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	// The progress goroutine stands in for iRCCE's asynchronous engine; it
-	// must block on the rendezvous independently of the issuing UE, which a
-	// pool task (one of finitely many workers) cannot.
-	go func() { //sccvet:allow bare-goroutine iRCCE progress engine: completion is joined through Request.Wait/Test, never left dangling
-		req.finish(u.Send(buf, dst))
-	}()
-	return req
+	return u.comm.eng.isend(u, buf, dst)
 }
 
 // Irecv starts a non-blocking receive of exactly len(buf) bytes from src.
@@ -87,10 +96,7 @@ func (u *UE) Irecv(buf []byte, src int) *Request {
 		req.finish(fmt.Errorf("rcce: UE %d irecv from itself", u.rank))
 		return req
 	}
-	go func() { //sccvet:allow bare-goroutine iRCCE progress engine: completion is joined through Request.Wait/Test, never left dangling
-		req.finish(u.Recv(buf, src))
-	}()
-	return req
+	return u.comm.eng.irecv(u, buf, src)
 }
 
 // WaitAll waits for every request and returns the first error encountered.

@@ -1,15 +1,23 @@
 // Package rcce is a functional workalike of Intel's RCCE ("rocky") light-
-// weight message-passing library for the SCC, built on goroutines. It
-// reproduces the programming model the paper's SpMV uses: a fixed set of
-// units of execution (UEs) addressed by rank, mapped onto physical cores by
-// a configurable mapping, synchronous point-to-point messages that move
+// weight message-passing library for the SCC. It reproduces the
+// programming model the paper's SpMV uses: a fixed set of units of
+// execution (UEs) addressed by rank, mapped onto physical cores by a
+// configurable mapping, synchronous point-to-point messages that move
 // through an 8 KB-per-core message passing buffer in line-sized chunks,
 // barriers, simple collectives, shared-memory allocation and the wall-clock
 // and power-management entry points.
 //
 // The package is *functionally* real - messages actually move between
-// goroutines and a misordered program really deadlocks - while performance
+// tasks and a misordered program really deadlocks - while performance
 // figures come from the separate timing simulator in internal/sim.
+//
+// Two engines implement the runtime behind a common seam (Options.Backend):
+// the default goroutine backend (one live goroutine per UE, unbuffered
+// channels, a wall-clock watchdog - the semantic oracle), and a
+// discrete-event backend (BackendDES) that schedules every UE on one host
+// thread in virtual time, unlocking deterministic runs, exact deadlock
+// detection, free injected latencies and mesh sizes far beyond the real
+// chip's 48 cores (Options.Geometry).
 //
 // Robustness: RunWith arms a per-operation deadline watchdog that converts
 // a wedged program into a structured DeadlockError naming the blocked
@@ -20,7 +28,6 @@
 package rcce
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,64 +45,81 @@ const ChunkBytes = scc.MPBBytesPerCore
 // Options configures a Run beyond the paper's defaults.
 type Options struct {
 	// Deadline bounds every blocking communication rendezvous (send and
-	// receive chunks, barriers, the collectives built on them). When any
-	// single rendezvous stays blocked past the deadline, a watchdog
-	// aborts the whole program with a DeadlockError naming the blocked
-	// ranks and ops. 0 keeps RCCE's block-forever semantics.
+	// receive chunks, barriers, the collectives built on them, injected
+	// delays). When any single rendezvous stays blocked past the
+	// deadline, a watchdog aborts the whole program with a DeadlockError
+	// naming the blocked ranks and ops. 0 keeps RCCE's block-forever
+	// semantics on the goroutine backend; the DES backend additionally
+	// reports genuine deadlocks exactly even without a deadline, because
+	// its event model proves when no progress is possible.
 	Deadline time.Duration
 	// Fault is the deterministic fault-injection plan consulted at every
 	// communication operation (nil injects nothing). A wedged rank only
 	// terminates if Deadline is also set - exactly like real hung
-	// hardware under a watchdog.
+	// hardware under a watchdog (goroutine backend; DES reports it at
+	// quiescence regardless).
 	Fault *fault.Plan
 	// Recorder receives flight-recorder events (injected wedges/fails,
 	// dropped messages, watchdog ticks, the deadlock verdict) on track
 	// "rcce". Nil records nothing; the recorder is write-only, so arming
 	// it cannot change what the program computes.
 	Recorder *obs.Recorder
+	// Backend selects the concurrency engine (see Backend). The zero
+	// value is the goroutine backend, the paper-era default.
+	Backend Backend
+	// Geometry sets the simulated chip's mesh dimensions. The zero value
+	// is the real SCC (6x4 tiles, 2 cores per tile, 48 cores); custom
+	// geometries lift the UE cap for beyond-the-hardware scaling runs
+	// (e.g. 32x32x1 = 1024 UEs). The power API models the real chip, so
+	// on custom geometries tiles beyond the real tile count start at the
+	// first tile's clock.
+	Geometry scc.Geometry
 }
 
 // Comm is one parallel program instance: the state shared by its UEs.
 //
-// Concurrency audit (sccvet atomic-consistency pass): n, mapping, deadline,
-// plan, watch and started are written once before Run launches the UE
-// goroutines and are read-only afterwards (the go statement is the
-// happens-before edge); the channel table and per-pair message counters are
-// guarded by chansMu, the shared-memory and split tables by shmMu, the
-// barrier registry by barMu, the mutable frequency-domain record by domMu,
-// and the traffic/op counters are typed atomics, which the analyzer prefers
-// because a plain access to them cannot compile.
+// Concurrency audit (sccvet atomic-consistency pass): n, mapping, geom,
+// deadline, plan, eng, rec and started are written once before the engine
+// launches the UE tasks and are read-only afterwards; the per-pair message
+// counters are guarded by seqMu, the shared-memory and split tables by
+// shmMu, the barrier registry by barMu, the mutable frequency-domain
+// record by domMu, and the traffic/op counters are typed atomics, which
+// the analyzer prefers because a plain access to them cannot compile.
+// Engine-internal state (channel tables, the event queue) lives in the
+// engine, under its own discipline.
 type Comm struct {
 	n       int
 	mapping scc.Mapping
+	geom    scc.Geometry
 
-	// deadline/plan/watch/rec are the robustness layer: per-op deadline,
-	// fault-injection plan, the watchdog converting wedges into
-	// DeadlockErrors, and the flight recorder events land on (all nil
-	// when unarmed; rec is written once before the UEs launch).
+	// deadline/plan/rec are the robustness layer: per-op deadline,
+	// fault-injection plan and the flight recorder events land on (nil
+	// when unarmed). eng is the concurrency engine everything blocking
+	// routes through.
 	deadline time.Duration
 	plan     *fault.Plan
-	watch    *watchdog
 	rec      *obs.Recorder
+	eng      engine
 
-	// domains is the mutable per-tile clock record behind SetTileMHz /
-	// TileMHz / Domains; domMu guards it (it previously borrowed
-	// chansMu, which coupled power management to the channel table).
-	domains scc.FreqDomains
+	// tileMHz is the mutable per-tile clock record behind SetTileMHz /
+	// TileMHz / Domains, sized to the geometry; domMu guards it along
+	// with the chip-wide mesh/memory clocks.
+	tileMHz []int
+	meshMHz int
+	memMHz  int
 	domMu   sync.Mutex
 
-	chans map[pairKey]chan []byte
 	// msgSeq counts Send calls per (src, dst) pair - the sequence
-	// numbers fault.Plan message matches use.
-	msgSeq  map[pairKey]int
-	chansMu sync.Mutex
+	// numbers fault.Plan message matches use; seqMu guards the table.
+	msgSeq map[pairKey]int
+	seqMu  sync.Mutex
 
-	barrier *barrier
+	barrier commBarrier
 	// barriers registers every barrier of the program (the global one,
 	// split-coordination barriers, subcomm barriers) so the watchdog can
 	// poison them all when it fires; barMu guards the slice.
 	barMu    sync.Mutex
-	barriers []*barrier
+	barriers []commBarrier
 
 	shmMu   sync.Mutex
 	shm     map[string][]float64
@@ -130,19 +154,24 @@ func Run(n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) err
 	return RunWith(Options{}, n, mapping, domains, body)
 }
 
-// RunWith is Run with a deadline watchdog and/or fault-injection plan
-// armed (see Options). With a zero Options it is exactly Run.
+// RunWith is Run with a deadline watchdog, fault-injection plan, engine
+// selection and/or custom mesh geometry armed (see Options). With a zero
+// Options it is exactly Run.
 func RunWith(opts Options, n int, mapping scc.Mapping, domains scc.FreqDomains, body func(*UE) error) error {
-	if n <= 0 || n > scc.NumCores {
-		return fmt.Errorf("rcce: cannot run %d UEs on %d cores", n, scc.NumCores)
+	geom := opts.Geometry.OrDefault()
+	if err := geom.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 || n > geom.NumCores() {
+		return fmt.Errorf("rcce: cannot run %d UEs on %d cores", n, geom.NumCores())
 	}
 	if mapping == nil {
-		mapping = scc.StandardMapping(n)
+		mapping = geom.StandardMapping(n)
 	}
 	if len(mapping) != n {
 		return fmt.Errorf("rcce: mapping size %d != %d UEs", len(mapping), n)
 	}
-	if err := mapping.Validate(); err != nil {
+	if err := geom.ValidateMapping(mapping); err != nil {
 		return err
 	}
 	if opts.Deadline < 0 {
@@ -151,50 +180,48 @@ func RunWith(opts Options, n int, mapping scc.Mapping, domains scc.FreqDomains, 
 	c := &Comm{
 		n:        n,
 		mapping:  mapping,
+		geom:     geom,
 		deadline: opts.Deadline,
 		plan:     opts.Fault,
 		rec:      opts.Recorder,
-		domains:  domains,
-		chans:    make(map[pairKey]chan []byte),
+		tileMHz:  tileClocks(geom, domains),
+		meshMHz:  domains.MeshMHz,
+		memMHz:   domains.MemMHz,
 		msgSeq:   make(map[pairKey]int),
 		shm:      make(map[string][]float64),
 		opSeq:    make([]atomic.Int64, n),
 		started:  time.Now(),
 	}
+	switch opts.Backend {
+	case BackendGoroutine:
+		c.eng = newGoroutineEngine(c)
+	case BackendDES:
+		c.eng = newDESEngine(c)
+	default:
+		return fmt.Errorf("rcce: unknown backend %v", opts.Backend)
+	}
 	c.barrier = c.newBarrier(n)
-	if opts.Deadline > 0 {
-		c.watch = newWatchdog(c, opts.Deadline)
-		// The watchdog is a supervisor, not a worker: it must keep
-		// scanning while every UE goroutine is blocked, which is exactly
-		// the situation a pool-dispatched task could not observe.
-		go c.watch.run() //sccvet:allow bare-goroutine deadline watchdog must run outside the pool it supervises; it only reads the blocked-op table and never touches results
+	return c.eng.run(body)
+}
+
+// tileClocks spreads the FreqDomains record over the geometry's tiles:
+// real tiles take their configured clock, tiles beyond the real chip
+// (custom geometries only) start at tile 0's clock.
+func tileClocks(geom scc.Geometry, domains scc.FreqDomains) []int {
+	clocks := make([]int, geom.NumTiles())
+	for t := range clocks {
+		if t < scc.NumTiles {
+			clocks[t] = domains.TileMHz[t]
+		} else {
+			clocks[t] = domains.TileMHz[0]
+		}
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for r := 0; r < n; r++ {
-		wg.Add(1)
-		// UEs *are* the simulated cores of the RCCE thread model: their
-		// concurrency is the semantics under test, not host fan-out.
-		go func(rank int) { //sccvet:allow bare-goroutine UEs are the RCCE thread model itself, not host work distribution; Run joins them all before returning
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("rcce: UE %d panicked: %v", rank, p)
-				}
-			}()
-			errs[rank] = body(&UE{comm: c, rank: rank})
-		}(r)
-	}
-	wg.Wait()
-	if c.watch != nil {
-		c.watch.halt()
-	}
-	return errors.Join(errs...)
+	return clocks
 }
 
 // newBarrier creates a barrier registered for watchdog poisoning.
-func (c *Comm) newBarrier(n int) *barrier {
-	b := newBarrier(n)
+func (c *Comm) newBarrier(n int) commBarrier {
+	b := c.eng.newBarrier(n)
 	c.barMu.Lock()
 	c.barriers = append(c.barriers, b)
 	c.barMu.Unlock()
@@ -204,11 +231,22 @@ func (c *Comm) newBarrier(n int) *barrier {
 // poisonBarriers aborts every registered barrier with err (watchdog fire).
 func (c *Comm) poisonBarriers(err error) {
 	c.barMu.Lock()
-	bars := append([]*barrier(nil), c.barriers...)
+	bars := append([]commBarrier(nil), c.barriers...)
 	c.barMu.Unlock()
 	for _, b := range bars {
 		b.poisonWith(err)
 	}
+}
+
+// nextMsgSeq returns this Send's per-pair sequence number (the identity
+// fault.Plan message matches use).
+func (c *Comm) nextMsgSeq(src, dst int) int {
+	c.seqMu.Lock()
+	defer c.seqMu.Unlock()
+	k := pairKey{src, dst}
+	seq := c.msgSeq[k]
+	c.msgSeq[k] = seq + 1
+	return seq
 }
 
 // Rank returns the UE's rank (0..NumUEs-1).
@@ -221,12 +259,17 @@ func (u *UE) NumUEs() int { return u.comm.n }
 func (u *UE) Core() scc.CoreID { return u.comm.mapping[u.rank] }
 
 // Hops returns this UE's core-to-memory-controller distance.
-func (u *UE) Hops() int { return scc.HopsToMC(u.Core()) }
+func (u *UE) Hops() int { return u.comm.geom.HopsToMC(u.Core()) }
 
-// Wtime returns elapsed wall-clock seconds since the program started,
-// mirroring RCCE_wtime(), which the paper uses because the SCC cores lack a
-// frequency-invariant clock.
-func (u *UE) Wtime() float64 { return time.Since(u.comm.started).Seconds() }
+// Geometry returns the mesh geometry the program runs on.
+func (u *UE) Geometry() scc.Geometry { return u.comm.geom }
+
+// Wtime returns elapsed seconds since the program started, mirroring
+// RCCE_wtime(), which the paper uses because the SCC cores lack a
+// frequency-invariant clock. The goroutine backend reads monotonic-safe
+// wall time through the obs clock seam (a stepped wall clock can never
+// yield a negative reading); the DES backend reads the virtual clock.
+func (u *UE) Wtime() float64 { return u.comm.eng.wtime() }
 
 // preOp counts this rank's communication operation and applies any
 // injected rank fault: ActFail returns ErrInjected-wrapped failure,
@@ -243,90 +286,13 @@ func (u *UE) preOp(op string, peer int) error {
 	case fault.ActWedge:
 		c.rec.Recordf(rcceTrack, "fault_wedge", "injected wedge",
 			"rank %d wedged at %s op %d", u.rank, op, seq)
-		return c.park(u.rank, "wedged:"+op, peer)
+		return c.eng.park(u, "wedged:"+op, peer)
 	}
 	return nil
 }
 
 // rcceTrack is the flight-recorder timeline row for runtime events.
 const rcceTrack = "rcce"
-
-// park blocks the rank as a wedged op. With a watchdog it returns the
-// DeadlockError once the deadline fires; without one it blocks forever.
-func (c *Comm) park(rank int, op string, peer int) error {
-	if c.watch == nil {
-		select {} // wedged with no watchdog: hung hardware, hung program
-	}
-	c.watch.enter(rank, op, peer)
-	defer c.watch.leave(rank)
-	<-c.watch.aborted
-	return c.watch.err()
-}
-
-// channel returns the rendezvous channel for the ordered pair (src, dst).
-// Channels are unbuffered: a send blocks until the receiver arrives, which
-// is RCCE's synchronous point-to-point semantics.
-func (c *Comm) channel(src, dst int) chan []byte {
-	c.chansMu.Lock()
-	defer c.chansMu.Unlock()
-	return c.channelLocked(src, dst)
-}
-
-func (c *Comm) channelLocked(src, dst int) chan []byte {
-	k := pairKey{src, dst}
-	ch, ok := c.chans[k]
-	if !ok {
-		ch = make(chan []byte)
-		c.chans[k] = ch
-	}
-	return ch
-}
-
-// sendChannel returns the pair channel plus this Send's per-pair sequence
-// number (the identity fault.Plan message matches use).
-func (c *Comm) sendChannel(src, dst int) (chan []byte, int) {
-	c.chansMu.Lock()
-	defer c.chansMu.Unlock()
-	k := pairKey{src, dst}
-	seq := c.msgSeq[k]
-	c.msgSeq[k] = seq + 1
-	return c.channelLocked(src, dst), seq
-}
-
-// sendChunk moves one chunk through the pair channel, honouring the
-// watchdog deadline when one is armed.
-func (u *UE) sendChunk(ch chan []byte, chunk []byte, dst int) error {
-	w := u.comm.watch
-	if w == nil {
-		ch <- chunk
-		return nil
-	}
-	w.enter(u.rank, "send", dst)
-	defer w.leave(u.rank)
-	select {
-	case ch <- chunk:
-		return nil
-	case <-w.aborted:
-		return w.err()
-	}
-}
-
-// recvChunk receives one chunk from the pair channel, honouring the
-// watchdog deadline when one is armed.
-func (u *UE) recvChunk(ch chan []byte, src int) ([]byte, error) {
-	w := u.comm.watch
-	if w == nil {
-		return <-ch, nil
-	}
-	w.enter(u.rank, "recv", src)
-	defer w.leave(u.rank)
-	select {
-	case chunk := <-ch:
-		return chunk, nil
-	case <-w.aborted:
-		return nil, w.err()
-	}
-}
 
 // Send transmits data to the UE with the given rank, blocking until the
 // receiver has accepted all of it. Payloads move in ChunkBytes pieces, as
@@ -341,7 +307,7 @@ func (u *UE) Send(data []byte, dst int) error {
 	if err := u.preOp("send", dst); err != nil {
 		return err
 	}
-	ch, seq := u.comm.sendChannel(u.rank, dst)
+	seq := u.comm.nextMsgSeq(u.rank, dst)
 	if drop, delay := u.comm.plan.OnMessage(u.rank, dst, seq); drop {
 		// The message vanishes after the send "completes": the receiver
 		// stays blocked, which the watchdog converts into a structured
@@ -351,11 +317,17 @@ func (u *UE) Send(data []byte, dst int) error {
 		u.comm.msgs.Add(1)
 		return nil
 	} else if delay > 0 {
-		time.Sleep(delay)
+		// The injected latency is a blocked "delay" op like any other
+		// rendezvous: the watchdog observes it and an abort interrupts
+		// it (a bare sleep here used to survive a watchdog fire and
+		// then still perform its rendezvous).
+		if err := u.comm.eng.delay(u, dst, delay); err != nil {
+			return err
+		}
 	}
 	// An empty message still performs one rendezvous.
 	if len(data) == 0 {
-		if err := u.sendChunk(ch, nil, dst); err != nil {
+		if err := u.comm.eng.sendChunk(u, dst, nil); err != nil {
 			return err
 		}
 		u.comm.msgs.Add(1)
@@ -368,7 +340,7 @@ func (u *UE) Send(data []byte, dst int) error {
 		}
 		chunk := make([]byte, end-off)
 		copy(chunk, data[off:end])
-		if err := u.sendChunk(ch, chunk, dst); err != nil {
+		if err := u.comm.eng.sendChunk(u, dst, chunk); err != nil {
 			return err
 		}
 	}
@@ -389,14 +361,24 @@ func (u *UE) Recv(buf []byte, src int) error {
 	if err := u.preOp("recv", src); err != nil {
 		return err
 	}
-	ch := u.comm.channel(src, u.rank)
 	if len(buf) == 0 {
-		_, err := u.recvChunk(ch, src)
-		return err
+		// A zero-length receive still meets its sender for one
+		// rendezvous, but only a zero-length chunk may arrive: silently
+		// swallowing a data chunk here used to corrupt the remainder of
+		// a longer transfer.
+		chunk, err := u.comm.eng.recvChunk(u, src)
+		if err != nil {
+			return err
+		}
+		if len(chunk) != 0 {
+			return fmt.Errorf("rcce: UE %d received %d-byte chunk into 0-byte window: size mismatch with sender %d",
+				u.rank, len(chunk), src)
+		}
+		return nil
 	}
 	off := 0
 	for off < len(buf) {
-		chunk, err := u.recvChunk(ch, src)
+		chunk, err := u.comm.eng.recvChunk(u, src)
 		if err != nil {
 			return err
 		}

@@ -50,32 +50,43 @@ func (u *UE) ShmFree(name string) {
 // These methods adjust the Comm's frequency-domain record, which the power
 // model (scc.FullSystemPower) and the timing simulator consume.
 
-// SetTileMHz sets this UE's tile clock, affecting both cores on the tile.
+// SetTileMHz sets this UE's tile clock, affecting every core on the tile.
 func (u *UE) SetTileMHz(mhz int) error {
 	if mhz < 100 || mhz > 800 {
 		return fmt.Errorf("rcce: tile clock %d MHz outside [100, 800]", mhz)
 	}
-	tile := u.Core().Tile()
+	tile := u.comm.geom.TileOf(u.Core())
 	u.comm.domMu.Lock()
-	u.comm.domains.TileMHz[tile] = mhz
+	u.comm.tileMHz[tile] = mhz
 	u.comm.domMu.Unlock()
 	return nil
 }
 
 // TileMHz returns this UE's current tile clock.
 func (u *UE) TileMHz() int {
+	tile := u.comm.geom.TileOf(u.Core())
 	u.comm.domMu.Lock()
 	defer u.comm.domMu.Unlock()
-	return u.comm.domains.CoreMHzOf(u.Core())
+	return u.comm.tileMHz[tile]
 }
 
-// Domains returns a snapshot of the chip's frequency domains. FreqDomains
-// holds its per-tile clocks in an array, so the returned copy is deep and
-// safe to read after the lock is released.
+// Domains returns a snapshot of the chip's frequency domains. The record
+// describes the real chip's 24 tiles: on the default geometry it is a
+// faithful round-trip of the clocks Run was given plus any SetTileMHz
+// adjustments; on custom geometries only the first 24 tiles are reported
+// (the power model below is anchored to the real chip's measurements).
 func (u *UE) Domains() scc.FreqDomains {
 	u.comm.domMu.Lock()
 	defer u.comm.domMu.Unlock()
-	return u.comm.domains
+	d := scc.FreqDomains{MeshMHz: u.comm.meshMHz, MemMHz: u.comm.memMHz}
+	for t := range d.TileMHz {
+		if t < len(u.comm.tileMHz) {
+			d.TileMHz[t] = u.comm.tileMHz[t]
+		} else {
+			d.TileMHz[t] = u.comm.tileMHz[0]
+		}
+	}
+	return d
 }
 
 // SystemPower returns the modelled full-system power under the current

@@ -19,16 +19,16 @@ type SubComm struct {
 	// local is this UE's rank within the group.
 	local int
 	// barrier synchronises only the group.
-	barrier *barrier
+	barrier commBarrier
 }
 
 // splitState coordinates one collective Split call across all UEs.
 type splitState struct {
 	mu      sync.Mutex
 	entries map[int][2]int // global rank -> (color, key)
-	done    *barrier
+	done    commBarrier
 	groups  map[int][]int // color -> ordered global ranks
-	bars    map[int]*barrier
+	bars    map[int]commBarrier
 }
 
 // Split partitions the program's UEs into subcommunicators. EVERY UE must
@@ -61,9 +61,9 @@ func (u *UE) Split(tag string, color, key int) (*SubComm, error) {
 	st.mu.Unlock()
 
 	// Wait for every UE to contribute, then (once) build the groups.
-	err := u.waitWatched(st.done, "split", func() {
+	err := st.done.wait(u, "split", func() {
 		st.groups = map[int][]int{}
-		st.bars = map[int]*barrier{}
+		st.bars = map[int]commBarrier{}
 		for rank, ck := range st.entries {
 			if ck[0] < 0 {
 				continue

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BlockedOp describes one rank's communication operation that was still
@@ -59,13 +61,16 @@ func (e *DeadlockError) BlockedRanks() []int {
 	return ranks
 }
 
-// watchdog observes the program's blocked communication operations and
-// aborts the whole Comm when any single op stays blocked past the
-// deadline. Channel waiters observe the abort by selecting on `aborted`;
-// barrier waiters are woken by poisoning every registered barrier.
+// watchdog observes the goroutine backend's blocked communication
+// operations and aborts the whole program when any single op stays
+// blocked past the deadline. Channel waiters observe the abort by
+// selecting on `aborted`; barrier waiters are woken by poisoning every
+// registered barrier (the poison callback). The DES backend has no
+// watchdog goroutine: its deadline checks are virtual-time events.
 type watchdog struct {
 	deadline time.Duration
-	comm     *Comm
+	rec      *obs.Recorder
+	poison   func(error)
 
 	mu      sync.Mutex
 	blocked map[int]*blockedEntry // rank -> the op it is inside
@@ -81,10 +86,11 @@ type blockedEntry struct {
 	since time.Time
 }
 
-func newWatchdog(c *Comm, deadline time.Duration) *watchdog {
+func newWatchdog(deadline time.Duration, rec *obs.Recorder, poison func(error)) *watchdog {
 	return &watchdog{
 		deadline: deadline,
-		comm:     c,
+		rec:      rec,
+		poison:   poison,
 		blocked:  map[int]*blockedEntry{},
 		aborted:  make(chan struct{}),
 		stop:     make(chan struct{}),
@@ -158,7 +164,7 @@ func (w *watchdog) scan() bool {
 	if !overdue {
 		w.mu.Unlock()
 		if blocked > 0 {
-			w.comm.rec.Recordf(rcceTrack, "watchdog_tick", "watchdog tick",
+			w.rec.Recordf(rcceTrack, "watchdog_tick", "watchdog tick",
 				"%d op(s) blocked, none past the %v deadline", blocked, w.deadline)
 		}
 		return false
@@ -173,8 +179,8 @@ func (w *watchdog) scan() bool {
 
 	// Wake every waiter: channel ops select on aborted, barrier waiters
 	// are poisoned and broadcast.
-	w.comm.rec.Record(rcceTrack, "deadlock", "watchdog fired", derr.Error())
+	w.rec.Record(rcceTrack, "deadlock", "watchdog fired", derr.Error())
 	close(w.aborted)
-	w.comm.poisonBarriers(derr)
+	w.poison(derr)
 	return true
 }

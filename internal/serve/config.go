@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/experiments"
+	"repro/internal/rcce"
 	"repro/internal/sim"
 )
 
@@ -47,6 +48,13 @@ type JobConfig struct {
 	// bit-deterministic at every worker count, so Parallelism is
 	// excluded from the result hash.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Engine selects the RCCE backend for executable-runtime experiments:
+	// "goroutine" (or "", the default) or "des" (the virtual-time
+	// scheduler). An engine knob like Parallelism, not a result knob: the
+	// cross-engine determinism tests prove both backends render
+	// bit-identical tables, so Engine is excluded from the result hash
+	// and identical jobs on different engines share one cached result.
+	Engine string `json:"engine,omitempty"`
 	// DeadlineSec bounds the job's execution (0 = the server default).
 	// Also excluded from the result hash: a deadline changes whether a
 	// result is produced, never which bytes it holds.
@@ -83,6 +91,11 @@ func (c JobConfig) Canonical() (JobConfig, error) {
 		return c, fmt.Errorf("serve: %w", err)
 	}
 	c.Pricing = p.String()
+	b, err := rcce.ParseBackend(c.Engine)
+	if err != nil {
+		return c, fmt.Errorf("serve: %w", err)
+	}
+	c.Engine = b.String()
 	if c.Parallelism < 0 {
 		return c, fmt.Errorf("serve: parallelism %d invalid: need >= 0", c.Parallelism)
 	}
@@ -94,10 +107,12 @@ func (c JobConfig) Canonical() (JobConfig, error) {
 
 // Key is the canonical content identity of the job's RESULT: every
 // normalized field that shapes the rendered bytes, and nothing else.
-// Parallelism and DeadlineSec are deliberately absent - the engine's
-// determinism tests prove worker count never changes a byte, and a
-// deadline only decides whether bytes are produced at all. Callers must
-// pass a Canonical()-normalized config.
+// Parallelism, DeadlineSec and Engine are deliberately absent - the
+// engine's determinism tests prove worker count never changes a byte, a
+// deadline only decides whether bytes are produced at all, and the
+// goroutine and DES backends render bit-identical tables (the
+// cross-engine determinism tests). Callers must pass a
+// Canonical()-normalized config.
 func (c JobConfig) Key() string {
 	return fmt.Sprintf("sccsimd-job/v1|exp=%s|scale=%g|stride=%d|max=%d|pricing=%s|failfast=%t",
 		c.Experiment, c.Scale, c.Stride, c.MaxMatrices, c.Pricing, c.FailFast)
@@ -114,4 +129,10 @@ func (c JobConfig) Hash() string {
 func (c JobConfig) pricing() sim.Pricing {
 	p, _ := sim.ParsePricing(c.Pricing)
 	return p
+}
+
+// engine resolves the normalized engine string (Canonical validated it).
+func (c JobConfig) engine() rcce.Backend {
+	b, _ := rcce.ParseBackend(c.Engine) //sccvet:allow error-discard Canonical already validated and normalized the engine string; this re-parse cannot fail
+	return b
 }

@@ -308,6 +308,7 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		MaxMatrices: j.Config.MaxMatrices,
 		Parallelism: j.Config.Parallelism,
 		Pricing:     j.Config.pricing(),
+		Engine:      j.Config.engine(),
 		FailFast:    j.Config.FailFast,
 		MatrixCache: s.matrices,
 		Ctx:         jctx,

@@ -10,7 +10,6 @@ package spmv
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -68,14 +67,21 @@ type RCCEResult struct {
 // SCC program structure: every UE reads the shared x, processes its
 // balanced-nonzero row block, and rank 0 gathers the partial results.
 func RCCE(a *sparse.CSR, x []float64, ues int, mapping scc.Mapping) (*RCCEResult, error) {
+	return RCCEWith(rcce.Options{}, a, x, ues, mapping)
+}
+
+// RCCEWith is RCCE with runtime options armed: engine selection, custom
+// mesh geometry, deadline watchdog and/or fault injection (see
+// rcce.Options). A custom geometry lifts the 48-UE cap for
+// beyond-the-hardware scaling runs.
+func RCCEWith(opts rcce.Options, a *sparse.CSR, x []float64, ues int, mapping scc.Mapping) (*RCCEResult, error) {
 	if len(x) != a.Cols {
 		return nil, fmt.Errorf("spmv: len(x)=%d, matrix has %d columns", len(x), a.Cols)
 	}
 	parts := partition.ByNNZ(a, ues)
 	out := &RCCEResult{Y: make([]float64, a.Rows)}
-	var statsMu sync.Mutex
 
-	err := rcce.Run(ues, mapping, scc.Uniform(scc.Conf0), func(u *rcce.UE) error {
+	err := rcce.RunWith(opts, ues, mapping, scc.Uniform(scc.Conf0), func(u *rcce.UE) error {
 		// x lives in shared memory, initialised by rank 0 (paper setup).
 		shx, err := u.Shmalloc("x", a.Cols)
 		if err != nil {
@@ -118,15 +124,21 @@ func RCCE(a *sparse.CSR, x []float64, ues int, mapping scc.Mapping) (*RCCEResult
 					out.Y[ri] = buf[p]
 				}
 			}
-			statsMu.Lock()
+		} else if len(part) > 0 {
+			if err := u.SendFloat64s(part, 0); err != nil {
+				return err
+			}
+		}
+		// The trailing barrier makes the counter snapshot deterministic:
+		// every rank's traffic is complete before rank 0 reads the stats,
+		// so both engines report identical numbers.
+		if err := u.Barrier(); err != nil {
+			return err
+		}
+		if u.Rank() == 0 {
 			out.Stats = u.Stats()
-			statsMu.Unlock()
-			return nil
 		}
-		if len(part) == 0 {
-			return nil
-		}
-		return u.SendFloat64s(part, 0)
+		return nil
 	})
 	if err != nil {
 		return nil, err
